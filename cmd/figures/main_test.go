@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relpipe/internal/expfig"
+)
+
+func TestEmitWritesCSVAndChart(t *testing.T) {
+	dir := t.TempDir()
+	fig := expfig.Figure{
+		ID: "fig99", Title: "test figure", XLabel: "x", YLabel: "y",
+		Series: []expfig.Series{
+			{Label: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+		},
+	}
+	if err := emit(dir, fig); err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig99.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "x,a") {
+		t.Fatalf("CSV missing header:\n%s", csv)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "fig99.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "fig99") {
+		t.Fatalf("chart missing title:\n%s", txt)
+	}
+}
+
+func TestEmitFailsOnBadDir(t *testing.T) {
+	fig := expfig.Figure{ID: "figXX"}
+	if err := emit("/nonexistent-dir-xyz", fig); err == nil {
+		t.Fatal("emit into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,97 @@
+// Command frontier prints the Pareto-optimal trade-offs between
+// reliability, period and latency of one instance on a homogeneous
+// platform: the full tri-criteria frontier as CSV, plus ASCII renderings
+// of its two-dimensional projections.
+//
+// Usage:
+//
+//	frontier -instance inst.json [-floor 0.999999] [-csv out.csv]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"relpipe"
+	"relpipe/internal/frontier"
+	"relpipe/internal/textplot"
+)
+
+func main() {
+	instPath := flag.String("instance", "", "instance JSON file (required)")
+	floor := flag.Float64("floor", 0, "reliability floor for the period/latency projection")
+	csvPath := flag.String("csv", "", "write the full frontier as CSV to this file")
+	flag.Parse()
+	if err := run(*instPath, *floor, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "frontier:", err)
+		os.Exit(1)
+	}
+}
+
+func run(instPath string, floor float64, csvPath string) error {
+	if instPath == "" {
+		return fmt.Errorf("-instance is required")
+	}
+	b, err := os.ReadFile(instPath)
+	if err != nil {
+		return err
+	}
+	var in relpipe.Instance
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	pts, err := frontier.Compute(in.Chain, in.Platform)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d Pareto-optimal trade-offs\n", len(pts))
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := frontier.WriteCSV(pts, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+
+	toSeries := func(ps []frontier.Point, key func(frontier.Point) float64) textplot.Series {
+		s := textplot.Series{Label: "frontier"}
+		for _, p := range ps {
+			s.X = append(s.X, key(p))
+			s.Y = append(s.Y, p.FailProb)
+		}
+		return s
+	}
+	fmt.Println()
+	fmt.Print(textplot.Render(
+		[]textplot.Series{toSeries(frontier.PeriodReliability(pts), func(p frontier.Point) float64 { return p.Period })},
+		textplot.Options{Title: "failure probability vs period (latency unconstrained)",
+			XLabel: "period", YLabel: "failure probability", YLog: true, Width: 70, Height: 16}))
+	fmt.Println()
+	fmt.Print(textplot.Render(
+		[]textplot.Series{toSeries(frontier.LatencyReliability(pts), func(p frontier.Point) float64 { return p.Latency })},
+		textplot.Options{Title: "failure probability vs latency (period unconstrained)",
+			XLabel: "latency", YLabel: "failure probability", YLog: true, Width: 70, Height: 16}))
+
+	minLogRel := math.Inf(-1)
+	if floor > 0 {
+		minLogRel = math.Log(floor)
+	}
+	pl := frontier.PeriodLatency(pts, minLogRel)
+	fmt.Printf("\nperiod/latency staircase (reliability ≥ %v): %d points\n", floor, len(pl))
+	for _, p := range pl {
+		fmt.Printf("  P=%-10.4g L=%-10.4g fail=%.3g intervals=%d\n",
+			p.Period, p.Latency, p.FailProb, len(p.Ends))
+	}
+	return nil
+}

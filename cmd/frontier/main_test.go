@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relpipe"
+)
+
+func writeInstance(t *testing.T, dir string) string {
+	t.Helper()
+	in := relpipe.Instance{
+		Chain:    relpipe.RandomChain(9, 8, 1, 100, 1, 10),
+		Platform: relpipe.HomogeneousPlatform(6, 1, 1e-8, 1, 1e-5, 3),
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "inst.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	instPath := writeInstance(t, dir)
+	csvPath := filepath.Join(dir, "front.csv")
+	if err := run(instPath, 0.999, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "period,latency,failProb") {
+		t.Fatalf("unexpected CSV:\n%s", b)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, ""); err == nil {
+		t.Fatal("missing instance accepted")
+	}
+	if err := run("/nonexistent.json", 0, ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

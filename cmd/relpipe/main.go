@@ -1,0 +1,159 @@
+// Command relpipe optimizes or evaluates interval mappings of pipelined
+// real-time systems from JSON instance descriptions.
+//
+// Usage:
+//
+//	relpipe optimize -instance inst.json [-period P] [-latency L] [-method auto] [-o sol.json]
+//	relpipe evaluate -instance inst.json -solution sol.json
+//	relpipe generate [-tasks 15] [-procs 10] [-seed 1] [-het] [-o inst.json]
+//
+// An instance file holds {"chain":[{"work":..,"out":..},...],
+// "platform":{"procs":[{"speed":..,"failRate":..},...],"bandwidth":..,
+// "linkFailRate":..,"maxReplicas":..}}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"relpipe"
+	"relpipe/internal/chain"
+	"relpipe/internal/platform"
+	"relpipe/internal/rng"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "optimize":
+		err = cmdOptimize(os.Args[2:])
+	case "evaluate":
+		err = cmdEvaluate(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relpipe:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  relpipe optimize -instance inst.json [-period P] [-latency L] [-method auto|dp|exact|ilp|heur-p|heur-l|best-heuristic] [-o sol.json]
+  relpipe evaluate -instance inst.json -solution sol.json
+  relpipe generate [-tasks 15] [-procs 10] [-seed 1] [-het] [-o inst.json]`)
+}
+
+func loadInstance(path string) (relpipe.Instance, error) {
+	var in relpipe.Instance
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return in, err
+	}
+	if err := json.Unmarshal(b, &in); err != nil {
+		return in, fmt.Errorf("%s: %w", path, err)
+	}
+	return in, in.Validate()
+}
+
+func writeJSON(path string, v interface{}) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	instPath := fs.String("instance", "", "instance JSON file (required)")
+	period := fs.Float64("period", 0, "period bound (0 = unconstrained)")
+	latency := fs.Float64("latency", 0, "latency bound (0 = unconstrained)")
+	methodStr := fs.String("method", "auto", "optimization method")
+	out := fs.String("o", "-", "output file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *instPath == "" {
+		return fmt.Errorf("-instance is required")
+	}
+	in, err := loadInstance(*instPath)
+	if err != nil {
+		return err
+	}
+	method, err := relpipe.ParseMethod(*methodStr)
+	if err != nil {
+		return err
+	}
+	sol, err := relpipe.Optimize(in, relpipe.Bounds{Period: *period, Latency: *latency}, method)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "method=%s intervals=%d failure=%.6g WL=%.6g WP=%.6g\n",
+		sol.Method, len(sol.Mapping.Parts), sol.Eval.FailProb, sol.Eval.WorstLatency, sol.Eval.WorstPeriod)
+	return writeJSON(*out, sol)
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	instPath := fs.String("instance", "", "instance JSON file (required)")
+	solPath := fs.String("solution", "", "solution JSON file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *instPath == "" || *solPath == "" {
+		return fmt.Errorf("-instance and -solution are required")
+	}
+	in, err := loadInstance(*instPath)
+	if err != nil {
+		return err
+	}
+	b, err := os.ReadFile(*solPath)
+	if err != nil {
+		return err
+	}
+	var sol relpipe.Solution
+	if err := json.Unmarshal(b, &sol); err != nil {
+		return fmt.Errorf("%s: %w", *solPath, err)
+	}
+	ev, err := relpipe.Evaluate(in, sol.Mapping)
+	if err != nil {
+		return err
+	}
+	return writeJSON("-", ev)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	tasks := fs.Int("tasks", 15, "number of tasks")
+	procs := fs.Int("procs", 10, "number of processors")
+	seed := fs.Uint64("seed", 1, "random seed")
+	het := fs.Bool("het", false, "heterogeneous platform (speeds in [1,100])")
+	out := fs.String("o", "-", "output file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := rng.New(*seed)
+	in := relpipe.Instance{Chain: chain.PaperRandom(r, *tasks)}
+	if *het {
+		in.Platform = platform.PaperHeterogeneous(r, *procs)
+	} else {
+		in.Platform = platform.PaperHomogeneous(*procs)
+	}
+	return writeJSON(*out, in)
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"relpipe"
+)
+
+func writeInstance(t *testing.T, dir string) string {
+	t.Helper()
+	in := relpipe.Instance{
+		Chain:    relpipe.RandomChain(3, 8, 1, 100, 1, 10),
+		Platform: relpipe.HomogeneousPlatform(6, 1, 1e-8, 1, 1e-5, 3),
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "inst.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdGenerateAndOptimizeAndEvaluate(t *testing.T) {
+	dir := t.TempDir()
+	instPath := filepath.Join(dir, "gen.json")
+	if err := cmdGenerate([]string{"-tasks", "8", "-procs", "6", "-seed", "2", "-o", instPath}); err != nil {
+		t.Fatal(err)
+	}
+	var in relpipe.Instance
+	b, err := os.ReadFile(instPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &in); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Chain) != 8 || in.Platform.P() != 6 {
+		t.Fatalf("generated %d tasks / %d procs", len(in.Chain), in.Platform.P())
+	}
+
+	solPath := filepath.Join(dir, "sol.json")
+	err = cmdOptimize([]string{"-instance", instPath, "-period", "200", "-latency", "700", "-method", "exact", "-o", solPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sol relpipe.Solution
+	b, err = os.ReadFile(solPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != "exact" || len(sol.Mapping.Parts) == 0 {
+		t.Fatalf("solution = %+v", sol)
+	}
+
+	if err := cmdEvaluate([]string{"-instance", instPath, "-solution", solPath}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdGenerateHeterogeneous(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "het.json")
+	if err := cmdGenerate([]string{"-het", "-seed", "4", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	var in relpipe.Instance
+	b, _ := os.ReadFile(path)
+	if err := json.Unmarshal(b, &in); err != nil {
+		t.Fatal(err)
+	}
+	if in.Platform.Homogeneous() {
+		t.Fatal("-het produced a homogeneous platform")
+	}
+}
+
+func TestCmdOptimizeErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdOptimize([]string{"-period", "10"}); err == nil {
+		t.Fatal("missing -instance accepted")
+	}
+	if err := cmdOptimize([]string{"-instance", filepath.Join(dir, "nope.json")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	instPath := writeInstance(t, dir)
+	if err := cmdOptimize([]string{"-instance", instPath, "-method", "bogus"}); err == nil {
+		t.Fatal("bogus method accepted")
+	}
+	// Infeasible bounds surface as an error.
+	if err := cmdOptimize([]string{"-instance", instPath, "-period", "0.001"}); err == nil {
+		t.Fatal("infeasible bounds accepted")
+	}
+}
+
+func TestCmdEvaluateErrors(t *testing.T) {
+	dir := t.TempDir()
+	instPath := writeInstance(t, dir)
+	if err := cmdEvaluate([]string{"-instance", instPath}); err == nil {
+		t.Fatal("missing -solution accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{notjson"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEvaluate([]string{"-instance", instPath, "-solution", bad}); err == nil {
+		t.Fatal("corrupt solution accepted")
+	}
+}
+
+func TestLoadInstanceValidates(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"chain":[],"platform":{"procs":[{"speed":1,"failRate":0}],"bandwidth":1,"linkFailRate":0,"maxReplicas":1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadInstance(bad); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}

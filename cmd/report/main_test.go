@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relpipe"
+)
+
+func writeInstance(t *testing.T, dir string) string {
+	t.Helper()
+	in := relpipe.Instance{
+		Chain:    relpipe.RandomChain(11, 8, 1, 100, 1, 10),
+		Platform: relpipe.HomogeneousPlatform(6, 1, 1e-8, 1, 1e-5, 3),
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "inst.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	instPath := writeInstance(t, dir)
+	outPath := filepath.Join(dir, "report.md")
+	err := run(instPath, 250, 800, "exact", 36, 8760, 1000, 1e5, 1, outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "# Dependability report") {
+		t.Fatalf("report missing header:\n%s", b)
+	}
+	if !strings.Contains(string(b), "Monte-Carlo") {
+		t.Fatal("simulation section missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, 0, "auto", 36, 1, 0, 1, 1, "-"); err == nil {
+		t.Fatal("missing instance accepted")
+	}
+	dir := t.TempDir()
+	instPath := writeInstance(t, dir)
+	if err := run(instPath, 0, 0, "bogus", 36, 1, 0, 1, 1, "-"); err == nil {
+		t.Fatal("bogus method accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"relpipe"
+)
+
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	in := relpipe.Instance{
+		Chain:    relpipe.RandomChain(5, 8, 1, 100, 1, 10),
+		Platform: relpipe.HomogeneousPlatform(6, 1, 1e-8, 1, 1e-5, 3),
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := writeInstance(t)
+	if err := run(path, 200, 0, 2000, 1, 1e5, "auto"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, 0, 100, 1, 1, "auto"); err == nil {
+		t.Fatal("missing instance accepted")
+	}
+	if err := run("/nonexistent.json", 0, 0, 100, 1, 1, "auto"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeInstance(t)
+	if err := run(path, 0, 0, 100, 1, 1, "bogus"); err == nil {
+		t.Fatal("bogus method accepted")
+	}
+	if err := run(path, 0.001, 0, 100, 1, 1, "auto"); err == nil {
+		t.Fatal("infeasible bounds accepted")
+	}
+}

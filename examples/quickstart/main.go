@@ -1,0 +1,58 @@
+// Quickstart: map a small task chain onto a homogeneous platform,
+// optimize reliability under real-time bounds, and inspect the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relpipe"
+)
+
+func main() {
+	// A five-stage processing chain: (work, output size) per task; the
+	// last task writes to actuators, so its output size is 0.
+	chain := relpipe.Chain{
+		{Work: 40, Out: 4}, // acquire + preprocess
+		{Work: 65, Out: 8}, // feature extraction
+		{Work: 30, Out: 2}, // filtering
+		{Work: 55, Out: 6}, // decision
+		{Work: 25, Out: 0}, // actuation
+	}
+
+	// Eight identical processors (speed 1, failure rate 1e-8 per time
+	// unit), unit-bandwidth links failing at 1e-5 per time unit, and at
+	// most K=3 replicas per interval (bounded multi-port model).
+	platform := relpipe.HomogeneousPlatform(8, 1, 1e-8, 1, 1e-5, 3)
+
+	inst := relpipe.Instance{Chain: chain, Platform: platform}
+
+	// Real-time contract: a new data set every 120 time units, end-to-end
+	// response within 250 time units.
+	bounds := relpipe.Bounds{Period: 120, Latency: 250}
+
+	sol, err := relpipe.Optimize(inst, bounds, relpipe.Auto)
+	if err != nil {
+		log.Fatalf("optimize: %v", err)
+	}
+
+	fmt.Printf("method:     %s\n", sol.Method)
+	fmt.Printf("mapping:    %s\n", sol.Mapping)
+	fmt.Printf("reliability: 1 - %.3g  (failure probability per data set)\n", sol.Eval.FailProb)
+	fmt.Printf("latency:    %.4g (bound %.4g)\n", sol.Eval.WorstLatency, bounds.Latency)
+	fmt.Printf("period:     %.4g (bound %.4g)\n", sol.Eval.WorstPeriod, bounds.Period)
+
+	// Tightening the period forces more, smaller intervals (pipelining);
+	// the price is reliability and latency.
+	fmt.Println("\nperiod bound sweep (latency ≤ 250):")
+	fmt.Println("  P bound | intervals | failure prob | latency")
+	for _, p := range []float64{220, 120, 70} {
+		s, err := relpipe.Optimize(inst, relpipe.Bounds{Period: p, Latency: 250}, relpipe.Auto)
+		if err != nil {
+			fmt.Printf("  %7.4g | %9s | %12s | %s\n", p, "-", "infeasible", "-")
+			continue
+		}
+		fmt.Printf("  %7.4g | %9d | %12.3g | %.4g\n",
+			p, len(s.Mapping.Parts), s.Eval.FailProb, s.Eval.WorstLatency)
+	}
+}

@@ -1,0 +1,73 @@
+// Trade-off explorer: the three criteria — reliability, period, latency —
+// are antagonistic (§1). This example sweeps the (period, latency) plane
+// on one instance and prints the achievable failure probability at each
+// point, making the trade-off surface visible, then renders the
+// reliability/period frontier as an ASCII chart.
+package main
+
+import (
+	"fmt"
+
+	"relpipe"
+	"relpipe/internal/textplot"
+)
+
+func main() {
+	chain := relpipe.RandomChain(7, 12, 1, 100, 1, 10)
+	platform := relpipe.HomogeneousPlatform(10, 1, 1e-8, 1, 1e-5, 3)
+	inst := relpipe.Instance{Chain: chain, Platform: platform}
+
+	periods := []float64{80, 120, 160, 200, 300, 450}
+	latencies := []float64{550, 650, 750, 900}
+
+	fmt.Println("failure probability by (period, latency) bound:")
+	fmt.Printf("%8s |", "P \\ L")
+	for _, l := range latencies {
+		fmt.Printf(" %9.4g", l)
+	}
+	fmt.Println()
+	for _, p := range periods {
+		fmt.Printf("%8.4g |", p)
+		for _, l := range latencies {
+			sol, err := relpipe.Optimize(inst, relpipe.Bounds{Period: p, Latency: l}, relpipe.Exact)
+			if err != nil {
+				fmt.Printf(" %9s", "—")
+				continue
+			}
+			fmt.Printf(" %9.2e", sol.Eval.FailProb)
+		}
+		fmt.Println()
+	}
+
+	// Frontier: best achievable failure probability as the period bound
+	// loosens (latency unconstrained), for the optimum and each
+	// heuristic.
+	var xs []float64
+	series := map[string][]float64{"exact": nil, "heur-p": nil, "heur-l": nil}
+	for p := 60.0; p <= 500; p += 20 {
+		xs = append(xs, p)
+		for name, method := range map[string]relpipe.Method{
+			"exact": relpipe.Exact, "heur-p": relpipe.HeurP, "heur-l": relpipe.HeurL,
+		} {
+			sol, err := relpipe.Optimize(inst, relpipe.Bounds{Period: p}, method)
+			if err != nil {
+				series[name] = append(series[name], 1) // certain failure marker
+				continue
+			}
+			series[name] = append(series[name], sol.Eval.FailProb)
+		}
+	}
+	chart := textplot.Render([]textplot.Series{
+		{Label: "exact optimum", X: xs, Y: series["exact"]},
+		{Label: "Heur-P", X: xs, Y: series["heur-p"]},
+		{Label: "Heur-L", X: xs, Y: series["heur-l"]},
+	}, textplot.Options{
+		Title:  "reliability/period frontier (latency unconstrained)",
+		XLabel: "period bound",
+		YLabel: "failure probability (log)",
+		YLog:   true,
+		Width:  70, Height: 18,
+	})
+	fmt.Println()
+	fmt.Print(chart)
+}

@@ -1,0 +1,260 @@
+// Package alloc implements the processor-allocation step of the mapping
+// problem: given a fixed partition of the chain into intervals, choose
+// which processors replicate each interval.
+//
+// Greedy is the paper's Algo-Alloc (§5.5), optimal on homogeneous
+// platforms (Theorem 4). GreedyHet is the §7.2 generalization used by the
+// heuristics on heterogeneous platforms: it honours a period bound and
+// optional task↔processor compatibility constraints.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/failure"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+)
+
+// ErrInfeasible is returned when some interval cannot receive any
+// processor (not enough processors, or every candidate violates the
+// period bound or the compatibility constraints).
+var ErrInfeasible = errors.New("alloc: no feasible allocation")
+
+// Constraint reports whether interval j may run on processor u. A nil
+// Constraint allows everything. This models the §7.2 remark that some
+// tasks need a hardware driver present only on some processors.
+type Constraint func(j, u int) bool
+
+// Greedy implements Algo-Alloc on a homogeneous platform: first one
+// processor per interval, then repeatedly grant one more replica to the
+// interval with the largest reliability ratio
+//
+//	(reliability with one more replica) / (current reliability),
+//
+// equivalently the largest log-reliability gain. By Theorem 4 the result
+// maximizes the mapping's reliability for the given partition.
+// It returns ErrInfeasible if there are fewer processors than intervals.
+func Greedy(c chain.Chain, pl platform.Platform, parts interval.Partition) (mapping.Mapping, error) {
+	if !pl.Homogeneous() {
+		return mapping.Mapping{}, errors.New("alloc: Greedy requires a homogeneous platform; use GreedyHet")
+	}
+	m := len(parts)
+	p := pl.P()
+	if p < m {
+		return mapping.Mapping{}, fmt.Errorf("%w: %d intervals, %d processors", ErrInfeasible, m, p)
+	}
+	// Per-interval single-replica failure probability; processor identity
+	// is irrelevant on a homogeneous platform.
+	repFail := make([]float64, m)
+	for j := range parts {
+		repFail[j] = mapping.ReplicaFailProb(pl, 0, parts.Work(c, j), parts.In(c, j), parts.Out(c, j))
+	}
+	counts := make([]int, m)
+	stageFail := make([]float64, m) // current Π of replica failures
+	for j := range counts {
+		counts[j] = 1
+		stageFail[j] = repFail[j]
+	}
+	remaining := p - m
+	k := pl.MaxReplicas
+	for remaining > 0 {
+		best, bestGain := -1, math.Inf(-1)
+		for j := 0; j < m; j++ {
+			if counts[j] >= k {
+				continue
+			}
+			gain := failure.LogRel(stageFail[j]*repFail[j]) - failure.LogRel(stageFail[j])
+			if gain > bestGain {
+				best, bestGain = j, gain
+			}
+		}
+		if best < 0 {
+			break // every interval is already at K replicas
+		}
+		counts[best]++
+		stageFail[best] *= repFail[best]
+		remaining--
+	}
+	return mapping.AssignSequential(parts, counts), nil
+}
+
+// GreedyHet implements the §7.2 allocation heuristic for general
+// platforms under an optional period bound (periodBound <= 0 means
+// unconstrained) and optional compatibility constraints:
+//
+//  1. processors are considered by increasing λ_u/s_u ("most reliable
+//     first"; with the paper's uniform λ this is fastest first);
+//  2. each processor in turn seeds the largest-work interval that has no
+//     processor yet and that it can serve within the period bound;
+//  3. the remaining processors go, one by one, to the feasible interval
+//     with the largest reliability ratio, subject to the replication
+//     bound K.
+//
+// It returns ErrInfeasible if some interval ends up with no processor.
+func GreedyHet(c chain.Chain, pl platform.Platform, parts interval.Partition, periodBound float64, allowed Constraint) (mapping.Mapping, error) {
+	m := len(parts)
+	p := pl.P()
+	if p < m {
+		return mapping.Mapping{}, fmt.Errorf("%w: %d intervals, %d processors", ErrInfeasible, m, p)
+	}
+	work := make([]float64, m)
+	in := make([]float64, m)
+	out := make([]float64, m)
+	for j := range parts {
+		work[j] = parts.Work(c, j)
+		in[j] = parts.In(c, j)
+		out[j] = parts.Out(c, j)
+	}
+	feasible := func(j, u int) bool {
+		if periodBound > 0 && pl.ComputeTime(u, work[j]) > periodBound {
+			return false
+		}
+		if allowed != nil && !allowed(j, u) {
+			return false
+		}
+		return true
+	}
+
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra := pl.Procs[order[a]].FailRate / pl.Procs[order[a]].Speed
+		rb := pl.Procs[order[b]].FailRate / pl.Procs[order[b]].Speed
+		if ra != rb {
+			return ra < rb
+		}
+		return order[a] < order[b]
+	})
+
+	procsOf := make([][]int, m)
+	stageFail := make([]float64, m)
+	for j := range stageFail {
+		stageFail[j] = 1
+	}
+	seeded := 0
+	used := make([]bool, p)
+
+	// Phase 1: seed every interval, longest feasible interval first.
+	for _, u := range order {
+		if seeded == m {
+			break
+		}
+		best, bestWork := -1, -1.0
+		for j := 0; j < m; j++ {
+			if len(procsOf[j]) > 0 || !feasible(j, u) {
+				continue
+			}
+			if work[j] > bestWork {
+				best, bestWork = j, work[j]
+			}
+		}
+		if best < 0 {
+			continue // this processor cannot seed anything; maybe a later one can
+		}
+		procsOf[best] = append(procsOf[best], u)
+		stageFail[best] = mapping.ReplicaFailProb(pl, u, work[best], in[best], out[best])
+		used[u] = true
+		seeded++
+	}
+	if seeded < m {
+		return mapping.Mapping{}, fmt.Errorf("%w: %d of %d intervals could not be seeded", ErrInfeasible, m-seeded, m)
+	}
+
+	// Phase 2: hand out the remaining processors by reliability ratio.
+	k := pl.MaxReplicas
+	for _, u := range order {
+		if used[u] {
+			continue
+		}
+		best, bestGain := -1, math.Inf(-1)
+		for j := 0; j < m; j++ {
+			if len(procsOf[j]) >= k || !feasible(j, u) {
+				continue
+			}
+			f := mapping.ReplicaFailProb(pl, u, work[j], in[j], out[j])
+			gain := failure.LogRel(stageFail[j]*f) - failure.LogRel(stageFail[j])
+			if gain > bestGain {
+				best, bestGain = j, gain
+			}
+		}
+		if best < 0 {
+			continue // nothing accepts this processor
+		}
+		procsOf[best] = append(procsOf[best], u)
+		stageFail[best] *= mapping.ReplicaFailProb(pl, u, work[best], in[best], out[best])
+		used[u] = true
+	}
+
+	return mapping.Mapping{Parts: parts.Clone(), Procs: procsOf}, nil
+}
+
+// BruteForce exhaustively searches the reliability-optimal allocation for
+// a fixed partition by trying every assignment of processors to intervals
+// (each interval gets 1..K processors, a processor serves at most one
+// interval). Exponential; only used to validate the greedy algorithms on
+// small instances.
+func BruteForce(c chain.Chain, pl platform.Platform, parts interval.Partition) (mapping.Mapping, error) {
+	m := len(parts)
+	p := pl.P()
+	if p < m {
+		return mapping.Mapping{}, ErrInfeasible
+	}
+	if p > 10 {
+		return mapping.Mapping{}, errors.New("alloc: BruteForce limited to p <= 10")
+	}
+	bestLog := math.Inf(-1)
+	var best mapping.Mapping
+	assign := make([]int, p) // assign[u] = interval of processor u, or -1
+	var rec func(u int)
+	rec = func(u int) {
+		if u == p {
+			counts := make([]int, m)
+			for _, j := range assign {
+				if j >= 0 {
+					counts[j]++
+				}
+			}
+			for _, q := range counts {
+				if q == 0 {
+					return
+				}
+			}
+			mp := mapping.Mapping{Parts: parts, Procs: make([][]int, m)}
+			for v, j := range assign {
+				if j >= 0 {
+					mp.Procs[j] = append(mp.Procs[j], v)
+				}
+			}
+			ev, err := mapping.Evaluate(c, pl, mp)
+			if err != nil {
+				return
+			}
+			if ev.LogRel > bestLog {
+				bestLog = ev.LogRel
+				best = mp.Clone()
+				best.Parts = parts.Clone()
+			}
+			return
+		}
+		assign[u] = -1
+		rec(u + 1)
+		for j := 0; j < m; j++ {
+			assign[u] = j
+			rec(u + 1)
+		}
+		assign[u] = -1
+	}
+	rec(0)
+	if math.IsInf(bestLog, -1) {
+		return mapping.Mapping{}, ErrInfeasible
+	}
+	return best, nil
+}

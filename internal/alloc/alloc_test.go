@@ -1,0 +1,268 @@
+package alloc
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+	"relpipe/internal/rng"
+)
+
+func homPl(p int) platform.Platform {
+	// Large failure rates make reliability differences visible.
+	return platform.Homogeneous(p, 1, 1e-2, 1, 1e-3, 3)
+}
+
+func TestGreedyRejectsHeterogeneous(t *testing.T) {
+	pl := homPl(4)
+	pl.Procs[0].Speed = 2
+	c := chain.Chain{{Work: 1, Out: 0}}
+	if _, err := Greedy(c, pl, interval.Single(1)); err == nil {
+		t.Fatal("Greedy accepted heterogeneous platform")
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	c := chain.Chain{{Work: 1, Out: 1}, {Work: 1, Out: 1}, {Work: 1, Out: 0}}
+	_, err := Greedy(c, homPl(2), interval.Finest(3))
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGreedyUsesAllProcessorsUpToK(t *testing.T) {
+	c := chain.Chain{{Work: 10, Out: 1}, {Work: 20, Out: 0}}
+	pl := homPl(6) // 2 intervals * K=3 = 6: everything replicated K times
+	m, err := Greedy(c, pl, interval.Partition{{First: 0, Last: 0}, {First: 1, Last: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, ps := range m.Procs {
+		if len(ps) != 3 {
+			t.Fatalf("interval %d got %d replicas, want K=3", j, len(ps))
+		}
+	}
+}
+
+func TestGreedyRespectsK(t *testing.T) {
+	c := chain.Chain{{Work: 10, Out: 0}}
+	pl := homPl(6) // one interval, 6 processors, K=3
+	m, err := Greedy(c, pl, interval.Single(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Procs[0]) != 3 {
+		t.Fatalf("interval got %d replicas, want exactly K=3", len(m.Procs[0]))
+	}
+}
+
+func TestGreedyFavorsWeakestStage(t *testing.T) {
+	// Interval 0 has much more work than interval 1; the third processor
+	// must reinforce interval 0.
+	c := chain.Chain{{Work: 100, Out: 1}, {Work: 1, Out: 0}}
+	pl := homPl(3)
+	m, err := Greedy(c, pl, interval.Partition{{First: 0, Last: 0}, {First: 1, Last: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Procs[0]) != 2 || len(m.Procs[1]) != 1 {
+		t.Fatalf("replicas = %d/%d, want 2/1", len(m.Procs[0]), len(m.Procs[1]))
+	}
+}
+
+func TestGreedyMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.IntN(4)
+		c := chain.PaperRandom(r, n)
+		p := n + r.IntN(3)
+		pl := platform.Homogeneous(p, 1, r.Uniform(1e-4, 1e-1), 1, r.Uniform(1e-5, 1e-2), 1+r.IntN(3))
+		var parts interval.Partition
+		interval.VisitM(n, 1+r.IntN(minInt(n, p)), func(pp interval.Partition) bool {
+			parts = pp.Clone()
+			return r.Bernoulli(0.5) // pick a pseudo-random partition
+		})
+		g, err := Greedy(c, pl, parts)
+		if err != nil {
+			_, berr := BruteForce(c, pl, parts)
+			return berr != nil
+		}
+		b, err := BruteForce(c, pl, parts)
+		if err != nil {
+			return false
+		}
+		ge, _ := mapping.Evaluate(c, pl, g)
+		be, _ := mapping.Evaluate(c, pl, b)
+		// Greedy must reach the brute-force optimum (Theorem 4).
+		return ge.LogRel >= be.LogRel-1e-12*math.Abs(be.LogRel)-1e-300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGreedyHetSeedsFastProcessorsOnLongIntervals(t *testing.T) {
+	// Two intervals, works 100 and 10; two processors, speeds 10 and 1.
+	// The fast processor (lowest λ/s) seeds the longest interval.
+	c := chain.Chain{{Work: 100, Out: 1}, {Work: 10, Out: 0}}
+	pl := platform.Platform{
+		Procs: []platform.Processor{
+			{Speed: 1, FailRate: 1e-6},
+			{Speed: 10, FailRate: 1e-6},
+		},
+		Bandwidth: 1, LinkFailRate: 1e-6, MaxReplicas: 3,
+	}
+	parts := interval.Partition{{First: 0, Last: 0}, {First: 1, Last: 1}}
+	m, err := GreedyHet(c, pl, parts, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Procs[0][0] != 1 {
+		t.Fatalf("long interval seeded with processor %d, want fast processor 1", m.Procs[0][0])
+	}
+	if m.Procs[1][0] != 0 {
+		t.Fatalf("short interval got processor %d, want 0", m.Procs[1][0])
+	}
+}
+
+func TestGreedyHetHonorsPeriodBound(t *testing.T) {
+	// Slow processor cannot serve the long interval within the bound.
+	c := chain.Chain{{Work: 100, Out: 1}, {Work: 10, Out: 0}}
+	pl := platform.Platform{
+		Procs: []platform.Processor{
+			{Speed: 1, FailRate: 1e-6},  // 100/1 = 100 > 50 for interval 0
+			{Speed: 10, FailRate: 1e-6}, // 100/10 = 10 <= 50
+		},
+		Bandwidth: 1, LinkFailRate: 1e-6, MaxReplicas: 3,
+	}
+	parts := interval.Partition{{First: 0, Last: 0}, {First: 1, Last: 1}}
+	m, err := GreedyHet(c, pl, parts, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := mapping.Evaluate(c, pl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.WorstPeriod > 50 {
+		t.Fatalf("WorstPeriod = %v exceeds the bound 50", ev.WorstPeriod)
+	}
+}
+
+func TestGreedyHetInfeasiblePeriod(t *testing.T) {
+	c := chain.Chain{{Work: 100, Out: 0}}
+	pl := platform.Homogeneous(2, 1, 1e-6, 1, 1e-6, 2)
+	_, err := GreedyHet(c, pl, interval.Single(1), 10, nil)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGreedyHetConstraints(t *testing.T) {
+	c := chain.Chain{{Work: 10, Out: 1}, {Work: 10, Out: 0}}
+	pl := homPl(4)
+	parts := interval.Partition{{First: 0, Last: 0}, {First: 1, Last: 1}}
+	// Interval 0 may only run on processor 3.
+	constraint := func(j, u int) bool {
+		if j == 0 {
+			return u == 3
+		}
+		return u != 3
+	}
+	m, err := GreedyHet(c, pl, parts, 0, constraint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Procs[0]) != 1 || m.Procs[0][0] != 3 {
+		t.Fatalf("interval 0 procs = %v, want [3]", m.Procs[0])
+	}
+	for _, u := range m.Procs[1] {
+		if u == 3 {
+			t.Fatal("interval 1 uses forbidden processor 3")
+		}
+	}
+}
+
+func TestGreedyHetConstraintInfeasible(t *testing.T) {
+	c := chain.Chain{{Work: 10, Out: 0}}
+	pl := homPl(2)
+	_, err := GreedyHet(c, pl, interval.Single(1), 0, func(j, u int) bool { return false })
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGreedyHetMatchesGreedyOnHomogeneous(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.IntN(5)
+		c := chain.PaperRandom(r, n)
+		p := n + r.IntN(4)
+		pl := platform.Homogeneous(p, 1, 1e-2, 1, 1e-3, 1+r.IntN(3))
+		m := 1 + r.IntN(minInt(n, p))
+		var parts interval.Partition
+		interval.VisitM(n, m, func(pp interval.Partition) bool {
+			parts = pp.Clone()
+			return r.Bernoulli(0.5)
+		})
+		g, errG := Greedy(c, pl, parts)
+		h, errH := GreedyHet(c, pl, parts, 0, nil)
+		if (errG == nil) != (errH == nil) {
+			return false
+		}
+		if errG != nil {
+			return true
+		}
+		ge, _ := mapping.Evaluate(c, pl, g)
+		he, _ := mapping.Evaluate(c, pl, h)
+		// Identical reliability on homogeneous platforms (processor
+		// identities may differ).
+		return math.Abs(ge.LogRel-he.LogRel) <= 1e-12*(1+math.Abs(ge.LogRel))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyHetProducesValidMappings(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.IntN(8)
+		c := chain.PaperRandom(r, n)
+		pl := platform.PaperHeterogeneous(r, n+r.IntN(5))
+		m := 1 + r.IntN(minInt(n, pl.P()))
+		var parts interval.Partition
+		interval.VisitM(n, m, func(pp interval.Partition) bool {
+			parts = pp.Clone()
+			return r.Bernoulli(0.7)
+		})
+		mp, err := GreedyHet(c, pl, parts, 0, nil)
+		if err != nil {
+			return true
+		}
+		return mp.Validate(c, pl) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteForceRejectsBigPlatforms(t *testing.T) {
+	c := chain.Chain{{Work: 1, Out: 0}}
+	pl := homPl(11)
+	if _, err := BruteForce(c, pl, interval.Single(1)); err == nil {
+		t.Fatal("BruteForce accepted p=11")
+	}
+}

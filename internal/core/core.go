@@ -1,0 +1,218 @@
+// Package core is the library facade: it ties the chain/platform models,
+// the evaluation of §4, the polynomial algorithms of §5, the exact solver
+// and ILP, and the §7 heuristics into a single Optimize entry point. The
+// module root package relpipe re-exports this API for downstream users.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"relpipe/internal/alloc"
+	"relpipe/internal/chain"
+	"relpipe/internal/dp"
+	"relpipe/internal/exact"
+	"relpipe/internal/heur"
+	"relpipe/internal/ilp"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+	"relpipe/internal/rbd"
+)
+
+// ErrInfeasible is returned when no mapping satisfies the bounds.
+var ErrInfeasible = errors.New("core: no feasible mapping")
+
+// Instance bundles an application chain with a target platform.
+type Instance struct {
+	Chain    chain.Chain       `json:"chain"`
+	Platform platform.Platform `json:"platform"`
+}
+
+// Validate checks both halves of the instance.
+func (in Instance) Validate() error {
+	if err := in.Chain.Validate(); err != nil {
+		return err
+	}
+	return in.Platform.Validate()
+}
+
+// Bounds carries the real-time constraints; zero (or negative) values are
+// unconstrained. Feasibility uses worst-case metrics (on homogeneous
+// platforms expected and worst-case coincide, §5).
+type Bounds struct {
+	Period  float64 `json:"period,omitempty"`
+	Latency float64 `json:"latency,omitempty"`
+}
+
+// Method selects the optimization algorithm.
+type Method int
+
+const (
+	// Auto picks the strongest applicable method: the exact solver on
+	// homogeneous platforms of tractable size, the reliability DP when
+	// only a period bound is given, the combined heuristics otherwise.
+	Auto Method = iota
+	// HeurP is the period-oriented heuristic of §7 (Algorithm 4 +
+	// Algo-Alloc).
+	HeurP
+	// HeurL is the latency-oriented heuristic of §7 (Algorithm 3 +
+	// Algo-Alloc).
+	HeurL
+	// BestHeuristic runs both heuristics and keeps the better result,
+	// the selection rule of the paper's experiments.
+	BestHeuristic
+	// DP is Algorithm 1/2: optimal on homogeneous platforms without a
+	// latency bound.
+	DP
+	// Exact enumerates partitions with optimal allocation: optimal on
+	// homogeneous platforms up to ~22 tasks (the latency-bounded
+	// problem is NP-complete, Theorem 3).
+	Exact
+	// ILP solves the §5.4 integer program by branch and bound
+	// (homogeneous platforms).
+	ILP
+)
+
+var methodNames = map[Method]string{
+	Auto: "auto", HeurP: "heur-p", HeurL: "heur-l", BestHeuristic: "best-heuristic",
+	DP: "dp", Exact: "exact", ILP: "ilp",
+}
+
+// String returns the method's CLI name.
+func (m Method) String() string {
+	if s, ok := methodNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// ParseMethod converts a CLI name into a Method.
+func ParseMethod(s string) (Method, error) {
+	for m, name := range methodNames {
+		if strings.EqualFold(s, name) {
+			return m, nil
+		}
+	}
+	return Auto, fmt.Errorf("core: unknown method %q", s)
+}
+
+// Solution is the output of Optimize.
+type Solution struct {
+	Method  string          `json:"method"`
+	Mapping mapping.Mapping `json:"mapping"`
+	Eval    mapping.Eval    `json:"eval"`
+}
+
+// maxExactTasks bounds partition enumeration (2^{n-1} partitions).
+const maxExactTasks = 22
+
+// Optimize computes a mapping of the instance maximizing reliability
+// under the bounds, with the requested method. It returns ErrInfeasible
+// (possibly wrapped) when no mapping fits.
+func Optimize(in Instance, b Bounds, m Method) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if m == Auto {
+		switch {
+		case in.Platform.Homogeneous() && len(in.Chain) <= maxExactTasks:
+			m = Exact
+		case in.Platform.Homogeneous() && b.Latency <= 0:
+			m = DP
+		default:
+			m = BestHeuristic
+		}
+	}
+	wrap := func(mp mapping.Mapping, ev mapping.Eval, err error) (Solution, error) {
+		if err != nil {
+			if errors.Is(err, exact.ErrInfeasible) || errors.Is(err, dp.ErrInfeasible) ||
+				errors.Is(err, ilp.ErrInfeasible) || errors.Is(err, alloc.ErrInfeasible) {
+				return Solution{}, fmt.Errorf("%w: %v", ErrInfeasible, err)
+			}
+			return Solution{}, err
+		}
+		return Solution{Method: m.String(), Mapping: mp, Eval: ev}, nil
+	}
+	switch m {
+	case HeurP, HeurL, BestHeuristic:
+		fn := heur.Best
+		if m == HeurP {
+			fn = heur.HeurP
+		} else if m == HeurL {
+			fn = heur.HeurL
+		}
+		res, ok, err := fn(in.Chain, in.Platform, heur.Options{Period: b.Period, Latency: b.Latency})
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return Solution{}, ErrInfeasible
+		}
+		return Solution{Method: m.String(), Mapping: res.M, Eval: res.Ev}, nil
+	case DP:
+		if b.Latency > 0 {
+			return Solution{}, errors.New("core: DP ignores latency bounds (NP-complete, Theorem 3); use Exact or the heuristics")
+		}
+		return wrap(dp.OptimizeReliabilityPeriod(in.Chain, in.Platform, b.Period))
+	case Exact:
+		if len(in.Chain) > maxExactTasks {
+			return Solution{}, fmt.Errorf("core: Exact limited to %d tasks (2^{n-1} partitions); use the heuristics", maxExactTasks)
+		}
+		return wrap(exact.Optimal(in.Chain, in.Platform, b.Period, b.Latency))
+	case ILP:
+		model, err := ilp.BuildPaper(in.Chain, in.Platform, b.Period, b.Latency)
+		if err != nil {
+			if errors.Is(err, ilp.ErrInfeasible) {
+				return Solution{}, fmt.Errorf("%w: %v", ErrInfeasible, err)
+			}
+			return Solution{}, err
+		}
+		return wrap(model.Solve(ilp.Options{}))
+	default:
+		return Solution{}, fmt.Errorf("core: unknown method %v", m)
+	}
+}
+
+// Evaluate computes every §4 objective of a mapping on an instance.
+func Evaluate(in Instance, m mapping.Mapping) (mapping.Eval, error) {
+	if err := in.Validate(); err != nil {
+		return mapping.Eval{}, err
+	}
+	return mapping.Evaluate(in.Chain, in.Platform, m)
+}
+
+// UnroutedFailProb computes the exact failure probability of the mapping
+// *without* routing operations: every replica of an interval sends
+// directly to every replica of the next (the Fig. 4 diagram, each
+// boundary crossed once). The paper inserts routing operations to make
+// the RBD serial-parallel and asks, as future work, whether they can be
+// removed; for chains the answer is yes — a dynamic program over
+// delivering replica subsets evaluates the general diagram exactly in
+// O(m·4^K) (see internal/rbd).
+func UnroutedFailProb(in Instance, m mapping.Mapping) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if err := m.Validate(in.Chain, in.Platform); err != nil {
+		return 0, err
+	}
+	return rbd.UnroutedFromMapping(in.Chain, in.Platform, m).FailProb(), nil
+}
+
+// MinPeriod returns the mapping minimizing the period subject to a
+// minimum log-reliability (use math.Inf(-1) for unconstrained), on a
+// homogeneous platform (§5.2, converse problem).
+func MinPeriod(in Instance, minLogRel float64) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	mp, ev, err := dp.MinPeriodForReliability(in.Chain, in.Platform, minLogRel)
+	if err != nil {
+		if errors.Is(err, dp.ErrInfeasible) {
+			return Solution{}, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return Solution{}, err
+	}
+	return Solution{Method: "min-period", Mapping: mp, Eval: ev}, nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/platform"
+	"relpipe/internal/rng"
+)
+
+func homInstance(n, p int) Instance {
+	return Instance{
+		Chain:    chain.PaperRandom(rng.New(7), n),
+		Platform: platform.Homogeneous(p, 1, 1e-2, 1, 1e-3, 3),
+	}
+}
+
+func hetInstance(n, p int) Instance {
+	r := rng.New(11)
+	return Instance{
+		Chain:    chain.PaperRandom(r, n),
+		Platform: platform.PaperHeterogeneous(r, p),
+	}
+}
+
+func TestOptimizeAllMethodsAgreeOnHomogeneous(t *testing.T) {
+	in := homInstance(6, 5)
+	b := Bounds{Period: 200, Latency: 600}
+	solE, err := Optimize(in, b, Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solI, err := Optimize(in, b, ILP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(solE.Eval.LogRel-solI.Eval.LogRel) > 1e-6*(1+math.Abs(solE.Eval.LogRel)) {
+		t.Fatalf("exact %v vs ilp %v", solE.Eval.LogRel, solI.Eval.LogRel)
+	}
+	// Heuristics are feasible and no better than the optimum.
+	for _, m := range []Method{HeurP, HeurL, BestHeuristic} {
+		sol, err := Optimize(in, b, m)
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if sol.Eval.LogRel > solE.Eval.LogRel+1e-9 {
+			t.Fatalf("%v beat the exact optimum", m)
+		}
+		if !sol.Eval.MeetsBounds(b.Period, b.Latency) {
+			t.Fatalf("%v violates bounds", m)
+		}
+	}
+}
+
+func TestOptimizeDPNoLatency(t *testing.T) {
+	in := homInstance(6, 5)
+	sol, err := Optimize(in, Bounds{Period: 200}, DP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Eval.WorstPeriod > 200 {
+		t.Fatalf("DP violated period bound: %v", sol.Eval.WorstPeriod)
+	}
+	if _, err := Optimize(in, Bounds{Latency: 500}, DP); err == nil {
+		t.Fatal("DP accepted a latency bound")
+	}
+}
+
+func TestOptimizeAutoSelection(t *testing.T) {
+	// Homogeneous small: exact.
+	sol, err := Optimize(homInstance(6, 5), Bounds{}, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != "exact" {
+		t.Fatalf("auto picked %q, want exact", sol.Method)
+	}
+	// Heterogeneous: heuristics.
+	sol, err = Optimize(hetInstance(6, 5), Bounds{}, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != "best-heuristic" {
+		t.Fatalf("auto picked %q, want best-heuristic", sol.Method)
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	in := homInstance(6, 5)
+	for _, m := range []Method{Exact, DP, ILP, HeurP, HeurL, BestHeuristic} {
+		b := Bounds{Period: 1e-6}
+		if m == DP {
+			b = Bounds{Period: 1e-6}
+		}
+		_, err := Optimize(in, b, m)
+		if !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("%v: err = %v, want ErrInfeasible", m, err)
+		}
+	}
+}
+
+func TestOptimizeRejectsInvalidInstance(t *testing.T) {
+	in := homInstance(4, 4)
+	in.Chain = chain.Chain{}
+	if _, err := Optimize(in, Bounds{}, Auto); err == nil {
+		t.Fatal("accepted empty chain")
+	}
+}
+
+func TestOptimizeExactTaskLimit(t *testing.T) {
+	in := Instance{
+		Chain:    chain.PaperRandom(rng.New(1), 23),
+		Platform: platform.PaperHomogeneous(4),
+	}
+	if _, err := Optimize(in, Bounds{}, Exact); err == nil {
+		t.Fatal("Exact accepted 23 tasks")
+	}
+	// Auto must fall back (DP without latency) rather than fail.
+	if _, err := Optimize(in, Bounds{Period: 2000}, Auto); err != nil {
+		t.Fatalf("auto on 23 tasks: %v", err)
+	}
+}
+
+func TestEvaluateRoundTrip(t *testing.T) {
+	in := homInstance(6, 5)
+	sol, err := Optimize(in, Bounds{}, Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(in, sol.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.LogRel-sol.Eval.LogRel) > 1e-12*(1+math.Abs(ev.LogRel)) {
+		t.Fatal("Evaluate disagrees with Optimize's eval")
+	}
+}
+
+func TestMinPeriod(t *testing.T) {
+	in := homInstance(6, 5)
+	sol, err := MinPeriod(in, math.Inf(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Eval.WorstPeriod <= 0 {
+		t.Fatalf("MinPeriod period = %v", sol.Eval.WorstPeriod)
+	}
+	// Heterogeneous: not supported.
+	if _, err := MinPeriod(hetInstance(5, 4), math.Inf(-1)); err == nil {
+		t.Fatal("MinPeriod accepted heterogeneous platform")
+	}
+}
+
+func TestMethodParseRoundTrip(t *testing.T) {
+	for _, m := range []Method{Auto, HeurP, HeurL, BestHeuristic, DP, Exact, ILP} {
+		back, err := ParseMethod(m.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != m {
+			t.Fatalf("round trip %v -> %v", m, back)
+		}
+	}
+	if _, err := ParseMethod("nope"); err == nil {
+		t.Fatal("ParseMethod accepted junk")
+	}
+	if Method(99).String() == "" {
+		t.Fatal("unknown method String empty")
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in := hetInstance(5, 4)
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Chain) != len(in.Chain) || back.Platform.P() != in.Platform.P() {
+		t.Fatal("instance JSON round trip lost data")
+	}
+}
+
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	in := homInstance(5, 4)
+	sol, err := Optimize(in, Bounds{}, Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Solution
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Method != sol.Method || len(back.Mapping.Parts) != len(sol.Mapping.Parts) {
+		t.Fatal("solution JSON round trip lost data")
+	}
+}

@@ -1,0 +1,180 @@
+// Package cost implements the resource-cost extension the paper lists as
+// future work (§9: "mix performance-oriented criteria with several other
+// objectives, such as reliability, resource costs, and power
+// consumption"): minimize the total cost of the enrolled processors
+// subject to a reliability floor and period/latency bounds, on platforms
+// with homogeneous speed/failure characteristics but arbitrary
+// per-processor prices.
+//
+// The structure of the optimum mirrors the paper's results: the
+// partition fixes period and latency; for a fixed partition the stage
+// log-reliabilities are separable concave functions of the replica
+// counts, so the greedy that always grants the next replica to the stage
+// with the largest marginal gain reaches any reliability target with the
+// minimum number of processors (the same exchange argument as
+// Theorem 4); and with identical processors the cheapest q of them are
+// the optimal q to enroll.
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/failure"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+)
+
+// ErrInfeasible is returned when no mapping meets all the constraints.
+var ErrInfeasible = errors.New("cost: no feasible mapping")
+
+// Solution is a cost-minimal mapping.
+type Solution struct {
+	Mapping   mapping.Mapping
+	Eval      mapping.Eval
+	TotalCost float64
+}
+
+// Minimize returns the cheapest mapping of c on pl with log-reliability
+// at least minLogRel, worst-case period at most period and worst-case
+// latency at most latency (bounds ≤ 0 unconstrained; minLogRel may be
+// -Inf). costs[u] is the price of enrolling processor u; processors must
+// share one speed and one failure rate (prices may differ freely).
+func Minimize(c chain.Chain, pl platform.Platform, costs []float64, minLogRel, period, latency float64) (Solution, error) {
+	if err := c.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if !pl.Homogeneous() {
+		return Solution{}, errors.New("cost: Minimize requires homogeneous speed and failure rate (costs may differ)")
+	}
+	if len(costs) != pl.P() {
+		return Solution{}, fmt.Errorf("cost: %d costs for %d processors", len(costs), pl.P())
+	}
+	for u, cu := range costs {
+		if cu < 0 {
+			return Solution{}, fmt.Errorf("cost: negative cost %v for processor %d", cu, u)
+		}
+	}
+
+	// Cheapest processors first; prefix sums give the optimal cost of
+	// enrolling q processors.
+	order := make([]int, pl.P())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if costs[order[a]] != costs[order[b]] {
+			return costs[order[a]] < costs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	prefix := make([]float64, pl.P()+1)
+	for i, u := range order {
+		prefix[i+1] = prefix[i] + costs[u]
+	}
+
+	n := len(c)
+	bestCost := math.Inf(1)
+	var bestParts interval.Partition
+	var bestCounts []int
+	interval.Visit(n, func(parts interval.Partition) bool {
+		m := len(parts)
+		if m > pl.P() {
+			return true
+		}
+		// Period and latency are allocation-independent here.
+		per, lat := 0.0, 0.0
+		for j := range parts {
+			w := pl.ComputeTime(0, parts.Work(c, j))
+			o := pl.CommTime(parts.Out(c, j))
+			per = math.Max(per, math.Max(w, o))
+			lat += w + o
+		}
+		if period > 0 && per > period {
+			return true
+		}
+		if latency > 0 && lat > latency {
+			return true
+		}
+		counts, ok := minimalCounts(c, pl, parts, minLogRel)
+		if !ok {
+			return true
+		}
+		q := 0
+		for _, k := range counts {
+			q += k
+		}
+		if prefix[q] < bestCost {
+			bestCost = prefix[q]
+			bestParts = parts.Clone()
+			bestCounts = append([]int(nil), counts...)
+		}
+		return true
+	})
+	if math.IsInf(bestCost, 1) {
+		return Solution{}, ErrInfeasible
+	}
+
+	// Materialize with the cheapest processors.
+	mp := mapping.Mapping{Parts: bestParts, Procs: make([][]int, len(bestParts))}
+	next := 0
+	for j, k := range bestCounts {
+		for i := 0; i < k; i++ {
+			mp.Procs[j] = append(mp.Procs[j], order[next])
+			next++
+		}
+	}
+	ev, err := mapping.Evaluate(c, pl, mp)
+	if err != nil {
+		return Solution{}, err
+	}
+	return Solution{Mapping: mp, Eval: ev, TotalCost: bestCost}, nil
+}
+
+// minimalCounts computes, for a fixed partition, the replica counts
+// reaching minLogRel with the fewest processors: start with one replica
+// per stage and repeatedly reinforce the stage with the best marginal
+// log-reliability gain.
+func minimalCounts(c chain.Chain, pl platform.Platform, parts interval.Partition, minLogRel float64) ([]int, bool) {
+	m := len(parts)
+	repFail := make([]float64, m)
+	for j := range parts {
+		repFail[j] = mapping.ReplicaFailProb(pl, 0, parts.Work(c, j), parts.In(c, j), parts.Out(c, j))
+	}
+	counts := make([]int, m)
+	stageFail := make([]float64, m)
+	logRel := 0.0
+	for j := range counts {
+		counts[j] = 1
+		stageFail[j] = repFail[j]
+		logRel += failure.LogRel(stageFail[j])
+	}
+	used := m
+	for logRel < minLogRel {
+		best, bestGain := -1, 0.0
+		for j := 0; j < m; j++ {
+			if counts[j] >= pl.MaxReplicas {
+				continue
+			}
+			gain := failure.LogRel(stageFail[j]*repFail[j]) - failure.LogRel(stageFail[j])
+			if gain > bestGain {
+				best, bestGain = j, gain
+			}
+		}
+		if best < 0 || used >= pl.P() {
+			return nil, false // cannot reach the reliability floor
+		}
+		logRel += bestGain
+		stageFail[best] *= repFail[best]
+		counts[best]++
+		used++
+	}
+	return counts, true
+}

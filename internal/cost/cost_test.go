@@ -1,0 +1,280 @@
+package cost
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+	"relpipe/internal/rng"
+)
+
+func homPl(p int) platform.Platform {
+	return platform.Homogeneous(p, 1, 1e-2, 1, 1e-3, 3)
+}
+
+func uniformCosts(p int, c float64) []float64 {
+	out := make([]float64, p)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+func TestMinimizeUnconstrainedUsesOneReplicaPerInterval(t *testing.T) {
+	c := chain.Chain{{Work: 10, Out: 1}, {Work: 20, Out: 0}}
+	pl := homPl(6)
+	sol, err := Minimize(c, pl, uniformCosts(6, 2), math.Inf(-1), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No reliability floor: the cheapest mapping is one interval on one
+	// processor.
+	if len(sol.Mapping.Parts) != 1 || len(sol.Mapping.Procs[0]) != 1 {
+		t.Fatalf("mapping = %v, want single interval single replica", sol.Mapping)
+	}
+	if sol.TotalCost != 2 {
+		t.Fatalf("cost = %v, want 2", sol.TotalCost)
+	}
+}
+
+func TestMinimizeReliabilityFloorForcesReplication(t *testing.T) {
+	c := chain.Chain{{Work: 10, Out: 0}}
+	pl := homPl(3)
+	// Single replica failure ≈ 1e-1·... with λ=1e-2, w=10: f ≈ 0.095.
+	single := mapping.ReplicaFailProb(pl, 0, 10, 0, 0)
+	target := math.Log1p(-single * single * 1.01) // needs at least 2 replicas
+	sol, err := Minimize(c, pl, uniformCosts(3, 1), target, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Mapping.Procs[0]) < 2 {
+		t.Fatalf("replicas = %d, want >= 2", len(sol.Mapping.Procs[0]))
+	}
+	if sol.Eval.LogRel < target {
+		t.Fatalf("logRel %v below floor %v", sol.Eval.LogRel, target)
+	}
+}
+
+func TestMinimizePicksCheapestProcessors(t *testing.T) {
+	c := chain.Chain{{Work: 10, Out: 0}}
+	pl := homPl(4)
+	costs := []float64{10, 1, 5, 2}
+	sol, err := Minimize(c, pl, costs, math.Inf(-1), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.TotalCost != 1 {
+		t.Fatalf("cost = %v, want 1 (cheapest processor)", sol.TotalCost)
+	}
+	if sol.Mapping.Procs[0][0] != 1 {
+		t.Fatalf("picked processor %d, want 1", sol.Mapping.Procs[0][0])
+	}
+}
+
+func TestMinimizeRespectsBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := chain.PaperRandom(r, 2+r.IntN(6))
+		p := 3 + r.IntN(5)
+		pl := homPl(p)
+		costs := make([]float64, p)
+		for i := range costs {
+			costs[i] = r.Uniform(1, 10)
+		}
+		period := r.Uniform(50, 400)
+		latency := r.Uniform(100, 1000)
+		sol, err := Minimize(c, pl, costs, math.Inf(-1), period, latency)
+		if errors.Is(err, ErrInfeasible) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		if sol.Eval.WorstPeriod > period+1e-9 || sol.Eval.WorstLatency > latency+1e-9 {
+			return false
+		}
+		return sol.Mapping.Validate(c, pl) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteMinCost exhaustively minimizes cost over partitions, replica
+// counts and processor choices for small instances.
+func bruteMinCost(c chain.Chain, pl platform.Platform, costs []float64, minLogRel, period, latency float64) (float64, bool) {
+	n := len(c)
+	p := pl.P()
+	best := math.Inf(1)
+	found := false
+	interval.Visit(n, func(parts interval.Partition) bool {
+		m := len(parts)
+		if m > p {
+			return true
+		}
+		counts := make([]int, m)
+		var rec func(j, used int)
+		rec = func(j, used int) {
+			if j == m {
+				mp := mapping.AssignSequential(parts, counts)
+				ev, err := mapping.Evaluate(c, pl, mp)
+				if err != nil {
+					return
+				}
+				if ev.LogRel < minLogRel {
+					return
+				}
+				if period > 0 && ev.WorstPeriod > period {
+					return
+				}
+				if latency > 0 && ev.WorstLatency > latency {
+					return
+				}
+				// Optimal processor choice for a given total count is
+				// the cheapest ones.
+				sorted := append([]float64(nil), costs...)
+				for a := 1; a < len(sorted); a++ {
+					for b := a; b > 0 && sorted[b] < sorted[b-1]; b-- {
+						sorted[b], sorted[b-1] = sorted[b-1], sorted[b]
+					}
+				}
+				total := 0.0
+				for i := 0; i < used; i++ {
+					total += sorted[i]
+				}
+				if total < best {
+					best = total
+					found = true
+				}
+				return
+			}
+			for q := 1; q <= pl.MaxReplicas && used+q <= p; q++ {
+				counts[j] = q
+				rec(j+1, used+q)
+			}
+		}
+		rec(0, 0)
+		return true
+	})
+	return best, found
+}
+
+func TestMinimizeMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := chain.PaperRandom(r, 1+r.IntN(4))
+		p := 2 + r.IntN(4)
+		pl := homPl(p)
+		costs := make([]float64, p)
+		for i := range costs {
+			costs[i] = r.Uniform(1, 10)
+		}
+		// A reliability floor somewhere between 1 and K replicas.
+		_, evMax, err := bruteBestRel(c, pl)
+		if err != nil {
+			return false
+		}
+		target := evMax * r.Uniform(1, 3) // logRel < 0: multiplying loosens
+		sol, errM := Minimize(c, pl, costs, target, 0, 0)
+		want, feasible := bruteMinCost(c, pl, costs, target, 0, 0)
+		if errM != nil {
+			return !feasible
+		}
+		if !feasible {
+			return false
+		}
+		return math.Abs(sol.TotalCost-want) <= 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteBestRel returns the best achievable logRel (no bounds).
+func bruteBestRel(c chain.Chain, pl platform.Platform) (mapping.Mapping, float64, error) {
+	best := math.Inf(-1)
+	var bm mapping.Mapping
+	interval.Visit(len(c), func(parts interval.Partition) bool {
+		m := len(parts)
+		if m > pl.P() {
+			return true
+		}
+		counts := make([]int, m)
+		var rec func(j, used int)
+		rec = func(j, used int) {
+			if j == m {
+				mp := mapping.AssignSequential(parts, counts)
+				ev, err := mapping.Evaluate(c, pl, mp)
+				if err == nil && ev.LogRel > best {
+					best = ev.LogRel
+					bm = mp
+				}
+				return
+			}
+			for q := 1; q <= pl.MaxReplicas && used+q <= pl.P(); q++ {
+				counts[j] = q
+				rec(j+1, used+q)
+			}
+		}
+		rec(0, 0)
+		return true
+	})
+	if math.IsInf(best, -1) {
+		return mapping.Mapping{}, 0, ErrInfeasible
+	}
+	return bm, best, nil
+}
+
+func TestMinimizeInfeasibleFloor(t *testing.T) {
+	c := chain.Chain{{Work: 10, Out: 0}}
+	pl := homPl(2)
+	// logRel > 0 is impossible.
+	_, err := Minimize(c, pl, uniformCosts(2, 1), 0.1, 0, 0)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMinimizeValidation(t *testing.T) {
+	c := chain.Chain{{Work: 10, Out: 0}}
+	pl := homPl(2)
+	if _, err := Minimize(c, pl, []float64{1}, math.Inf(-1), 0, 0); err == nil {
+		t.Fatal("accepted cost vector of wrong length")
+	}
+	if _, err := Minimize(c, pl, []float64{1, -2}, math.Inf(-1), 0, 0); err == nil {
+		t.Fatal("accepted negative cost")
+	}
+	het := homPl(2)
+	het.Procs[0].Speed = 2
+	if _, err := Minimize(c, het, []float64{1, 1}, math.Inf(-1), 0, 0); err == nil {
+		t.Fatal("accepted heterogeneous speeds")
+	}
+}
+
+func TestTighterFloorNeverCheapens(t *testing.T) {
+	r := rng.New(11)
+	c := chain.PaperRandom(r, 5)
+	pl := homPl(6)
+	costs := []float64{3, 1, 4, 1, 5, 9}
+	prev := -1.0
+	_, bestRel, err := bruteBestRel(c, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the floor from loose to tight; cost must not decrease.
+	for _, frac := range []float64{5, 3, 2, 1.2, 1.0} {
+		sol, err := Minimize(c, pl, costs, bestRel*frac, 0, 0)
+		if err != nil {
+			t.Fatalf("frac %v: %v", frac, err)
+		}
+		if sol.TotalCost < prev-1e-12 {
+			t.Fatalf("tighter floor got cheaper: %v -> %v", prev, sol.TotalCost)
+		}
+		prev = sol.TotalCost
+	}
+}

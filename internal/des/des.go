@@ -1,0 +1,99 @@
+// Package des is a small deterministic discrete-event simulation engine:
+// a time-ordered event queue with stable FIFO tie-breaking, so that two
+// runs with the same inputs produce identical event orders. Package sim
+// builds the pipelined-execution simulator on top of it.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine owns the simulation clock and the pending event queue.
+// The zero value is not valid; use New.
+type Engine struct {
+	now  float64
+	q    eventQueue
+	seq  int64
+	step int64
+}
+
+type event struct {
+	t   float64
+	seq int64 // insertion order: stable tie-breaking
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// New returns an engine with the clock at 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int64 { return e.step }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.q) }
+
+// At schedules fn at absolute time t. Events at equal times run in
+// scheduling order. It panics if t is in the past or not a number.
+func (e *Engine) At(t float64, fn func()) {
+	if math.IsNaN(t) || t < e.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now=%v", t, e.now))
+	}
+	heap.Push(&e.q, event{t: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Schedule schedules fn after the given non-negative delay.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if math.IsNaN(delay) || delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for len(e.q) > 0 {
+		e.runOne()
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.q) > 0 && e.q[0].t <= t {
+		e.runOne()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+func (e *Engine) runOne() {
+	ev := heap.Pop(&e.q).(event)
+	e.now = ev.t
+	e.step++
+	ev.fn()
+}

@@ -1,0 +1,144 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+	if e.Steps() != 3 {
+		t.Fatalf("Steps = %d, want 3", e.Steps())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events ran out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestScheduleRelative(t *testing.T) {
+	e := New()
+	var at float64
+	e.At(10, func() {
+		e.Schedule(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15 {
+		t.Fatalf("nested schedule fired at %v, want 15", at)
+	}
+}
+
+func TestReentrantScheduling(t *testing.T) {
+	// Events scheduled at the current time from within an event must
+	// still run, after already-queued same-time events.
+	e := New()
+	var order []string
+	e.At(1, func() {
+		order = append(order, "a")
+		e.Schedule(0, func() { order = append(order, "c") })
+	})
+	e.At(1, func() { order = append(order, "b") })
+	e.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want [a b c]", order)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(1, func() { ran++ })
+	e.At(2, func() { ran++ })
+	e.At(3, func() { ran++ })
+	e.RunUntil(2)
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("Now = %v, want 2", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 3 || e.Now() != 3 {
+		t.Fatalf("after Run: ran=%d Now=%v", ran, e.Now())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now = %v, want 42", e.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(-1) did not panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestManyEvents(t *testing.T) {
+	e := New()
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		e.At(float64(n-i), func() { count++ })
+	}
+	e.Run()
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.At(float64(j%97), func() {})
+		}
+		e.Run()
+	}
+}

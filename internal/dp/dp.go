@@ -1,0 +1,311 @@
+// Package dp implements the paper's polynomial algorithms:
+//
+//   - Algorithm 1 (§5.1): reliability-optimal interval mapping on a
+//     homogeneous platform, by dynamic programming over (tasks mapped,
+//     processors used) in O(n²p²).
+//   - Algorithm 2 (§5.2): the same under an upper bound on the period.
+//   - Period minimization under a reliability bound, by searching the
+//     O(n²) candidate period values with Algorithm 2 (§5.2, last remark).
+//   - Algorithm 3 (§7.1, Heur-L): the latency-oriented partition that
+//     cuts the chain at the m-1 cheapest communications.
+//   - Algorithm 4 (§7.1, Heur-P): the period-oriented partition that
+//     balances interval loads by dynamic programming.
+package dp
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/failure"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+)
+
+// ErrHeterogeneous is returned when a homogeneous-only algorithm is
+// applied to a heterogeneous platform (the problem is NP-complete there,
+// Theorem 5; use the heuristics instead).
+var ErrHeterogeneous = errors.New("dp: algorithm requires a homogeneous platform")
+
+// ErrInfeasible is returned when no mapping satisfies the constraints.
+var ErrInfeasible = errors.New("dp: no feasible mapping")
+
+// OptimizeReliability implements Algorithm 1: it returns the mapping of c
+// onto the homogeneous platform pl that maximizes reliability, with no
+// performance constraint.
+func OptimizeReliability(c chain.Chain, pl platform.Platform) (mapping.Mapping, mapping.Eval, error) {
+	return OptimizeReliabilityPeriod(c, pl, 0)
+}
+
+// OptimizeReliabilityPeriod implements Algorithm 2: reliability-optimal
+// mapping under the period bound P (P <= 0 disables the bound, reducing
+// to Algorithm 1).
+//
+// F(i,k) is the best log-reliability of a mapping of the first i tasks
+// onto exactly k processors; the recurrence tries every last interval
+// (tasks j+1..i, 1-based) and every replication degree q ≤ K, keeping
+// only intervals whose compute and boundary communication times respect
+// the period bound.
+func OptimizeReliabilityPeriod(c chain.Chain, pl platform.Platform, period float64) (mapping.Mapping, mapping.Eval, error) {
+	if err := c.Validate(); err != nil {
+		return mapping.Mapping{}, mapping.Eval{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return mapping.Mapping{}, mapping.Eval{}, err
+	}
+	if !pl.Homogeneous() {
+		return mapping.Mapping{}, mapping.Eval{}, ErrHeterogeneous
+	}
+	n := len(c)
+	p := pl.P()
+	k := pl.MaxReplicas
+	if k > p {
+		k = p
+	}
+	pre := chain.NewPrefix(c)
+
+	// stageLogRel(j, i, q) = log reliability of the interval of tasks
+	// [j, i-1] (0-based) replicated q times, or NaN if the interval
+	// violates the period bound.
+	stageLogRel := func(j, i, q int) float64 {
+		w := pre.Work(j, i-1)
+		in := c.Out(j - 1)
+		out := c.Out(i - 1)
+		if period > 0 {
+			if pl.ComputeTime(0, w) > period ||
+				pl.CommTime(in) > period || pl.CommTime(out) > period {
+				return math.NaN()
+			}
+		}
+		f := mapping.ReplicaFailProb(pl, 0, w, in, out)
+		return failure.LogRel(failure.Replicated(f, q))
+	}
+
+	const unset = math.MaxInt32
+	F := make([][]float64, n+1)
+	fromJ := make([][]int, n+1) // previous task count
+	fromQ := make([][]int, n+1) // replicas of the last interval
+	for i := range F {
+		F[i] = make([]float64, p+1)
+		fromJ[i] = make([]int, p+1)
+		fromQ[i] = make([]int, p+1)
+		for kk := range F[i] {
+			F[i][kk] = math.Inf(-1)
+			fromJ[i][kk] = unset
+			fromQ[i][kk] = unset
+		}
+	}
+	F[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 0; j < i; j++ {
+			for q := 1; q <= k; q++ {
+				s := stageLogRel(j, i, q)
+				if math.IsNaN(s) {
+					continue
+				}
+				for used := 0; used+q <= p; used++ {
+					if math.IsInf(F[j][used], -1) {
+						continue
+					}
+					cand := F[j][used] + s
+					if cand > F[i][used+q] {
+						F[i][used+q] = cand
+						fromJ[i][used+q] = j
+						fromQ[i][used+q] = q
+					}
+				}
+			}
+		}
+	}
+
+	bestK, bestLog := -1, math.Inf(-1)
+	for kk := 1; kk <= p; kk++ {
+		if F[n][kk] > bestLog {
+			bestK, bestLog = kk, F[n][kk]
+		}
+	}
+	if bestK < 0 {
+		return mapping.Mapping{}, mapping.Eval{}, ErrInfeasible
+	}
+
+	// Reconstruct the partition and the replica counts backwards.
+	var ends []int
+	var counts []int
+	i, kk := n, bestK
+	for i > 0 {
+		j, q := fromJ[i][kk], fromQ[i][kk]
+		if j == unset {
+			return mapping.Mapping{}, mapping.Eval{}, errors.New("dp: internal reconstruction error")
+		}
+		ends = append(ends, i-1)
+		counts = append(counts, q)
+		i, kk = j, kk-q
+	}
+	reverseInts(ends)
+	reverseInts(counts)
+	m := mapping.AssignSequential(interval.FromEnds(ends), counts)
+	ev, err := mapping.Evaluate(c, pl, m)
+	if err != nil {
+		return mapping.Mapping{}, mapping.Eval{}, err
+	}
+	return m, ev, nil
+}
+
+func reverseInts(s []int) {
+	for a, b := 0, len(s)-1; a < b; a, b = a+1, b-1 {
+		s[a], s[b] = s[b], s[a]
+	}
+}
+
+// PeriodCandidates returns the sorted distinct values the worst-case
+// period of any interval mapping of c on pl can take: every interval
+// compute time and every boundary communication time. The optimal period
+// under any constraint is always one of these.
+func PeriodCandidates(c chain.Chain, pl platform.Platform) []float64 {
+	n := len(c)
+	pre := chain.NewPrefix(c)
+	set := make(map[float64]bool)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			set[pl.ComputeTime(0, pre.Work(i, j))] = true
+		}
+		set[pl.CommTime(c.Out(i))] = true
+	}
+	out := make([]float64, 0, len(set))
+	for v := range set {
+		// A zero candidate (the last task's empty output) is never an
+		// achievable period — every interval has positive work — and
+		// would collide with the "unconstrained" sentinel of
+		// OptimizeReliabilityPeriod.
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// MinPeriodForReliability solves the converse problem of §5.2: the
+// smallest achievable period such that some mapping has log-reliability
+// at least minLogRel, found by binary search over PeriodCandidates with
+// Algorithm 2 as the oracle. It returns the optimal mapping.
+// Use minLogRel = -Inf for pure period minimization.
+func MinPeriodForReliability(c chain.Chain, pl platform.Platform, minLogRel float64) (mapping.Mapping, mapping.Eval, error) {
+	if !pl.Homogeneous() {
+		return mapping.Mapping{}, mapping.Eval{}, ErrHeterogeneous
+	}
+	cands := PeriodCandidates(c, pl)
+	ok := func(P float64) (mapping.Mapping, mapping.Eval, bool) {
+		m, ev, err := OptimizeReliabilityPeriod(c, pl, P)
+		if err != nil {
+			return mapping.Mapping{}, mapping.Eval{}, false
+		}
+		return m, ev, ev.LogRel >= minLogRel
+	}
+	lo, hi := 0, len(cands)-1
+	if _, _, feasible := ok(cands[hi]); !feasible {
+		return mapping.Mapping{}, mapping.Eval{}, ErrInfeasible
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, _, feasible := ok(cands[mid]); feasible {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	m, ev, _ := ok(cands[lo])
+	return m, ev, nil
+}
+
+// HeurLPartition implements Algorithm 3: the partition of c into m
+// intervals that cuts the chain after the m-1 tasks with the smallest
+// output communication costs (ties broken towards earlier tasks),
+// minimizing the total communication charged to the latency.
+func HeurLPartition(c chain.Chain, m int) (interval.Partition, error) {
+	n := len(c)
+	if m < 1 || m > n {
+		return nil, errors.New("dp: interval count out of range")
+	}
+	if m == 1 {
+		return interval.Single(n), nil
+	}
+	type comm struct {
+		idx int
+		o   float64
+	}
+	cs := make([]comm, n-1)
+	for i := 0; i < n-1; i++ {
+		cs[i] = comm{idx: i, o: c.Out(i)}
+	}
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].o != cs[b].o {
+			return cs[a].o < cs[b].o
+		}
+		return cs[a].idx < cs[b].idx
+	})
+	ends := make([]int, 0, m)
+	for _, cm := range cs[:m-1] {
+		ends = append(ends, cm.idx)
+	}
+	sort.Ints(ends)
+	ends = append(ends, n-1)
+	return interval.FromEnds(ends), nil
+}
+
+// HeurPPartition implements Algorithm 4: the partition of c into m
+// intervals minimizing the worst-case period max_j max(W_j/speed,
+// o_{l_j}/bandwidth), computed by dynamic programming in O(n²m).
+// speed and bandwidth scale compute and communication terms; pass 1, 1
+// for the paper's unit-cost formulation.
+func HeurPPartition(c chain.Chain, m int, speed, bandwidth float64) (interval.Partition, error) {
+	n := len(c)
+	if m < 1 || m > n {
+		return nil, errors.New("dp: interval count out of range")
+	}
+	if speed <= 0 || bandwidth <= 0 {
+		return nil, errors.New("dp: non-positive speed or bandwidth")
+	}
+	pre := chain.NewPrefix(c)
+	// G[j][k] = minimal period of the first j tasks split into k
+	// intervals; cut[j][k] = size of the prefix before the last interval.
+	G := make([][]float64, n+1)
+	cut := make([][]int, n+1)
+	for j := range G {
+		G[j] = make([]float64, m+1)
+		cut[j] = make([]int, m+1)
+		for kk := range G[j] {
+			G[j][kk] = math.Inf(1)
+			cut[j][kk] = -1
+		}
+	}
+	G[0][0] = 0
+	for j := 1; j <= n; j++ {
+		outT := c.Out(j-1) / bandwidth
+		for kk := 1; kk <= m && kk <= j; kk++ {
+			for jp := kk - 1; jp < j; jp++ {
+				if math.IsInf(G[jp][kk-1], 1) {
+					continue
+				}
+				cost := math.Max(G[jp][kk-1], math.Max(pre.Work(jp, j-1)/speed, outT))
+				if cost < G[j][kk] {
+					G[j][kk] = cost
+					cut[j][kk] = jp
+				}
+			}
+		}
+	}
+	if math.IsInf(G[n][m], 1) {
+		return nil, ErrInfeasible
+	}
+	ends := make([]int, 0, m)
+	j, kk := n, m
+	for j > 0 {
+		ends = append(ends, j-1)
+		j, kk = cut[j][kk], kk-1
+	}
+	reverseInts(ends)
+	return interval.FromEnds(ends), nil
+}

@@ -1,0 +1,151 @@
+// Package exact solves the tri-criteria mapping problem *optimally* on
+// homogeneous platforms: maximize reliability subject to bounds on period
+// and latency.
+//
+// The (reliability | latency) problem is NP-complete (Theorem 3), so no
+// polynomial algorithm exists unless P=NP; at the paper's experimental
+// scale (n = 15 tasks → 2^14 = 16384 partitions) exhaustive enumeration
+// of partitions is cheap, and for each partition Algo-Alloc yields the
+// reliability-optimal allocation (Theorem 4). On homogeneous platforms
+// the period and latency of a mapping depend only on its partition, so
+// enumeration + optimal allocation is a *global* optimum. This solver
+// plays the role of the paper's CPLEX ILP (§5.4) in the experiments, and
+// cross-checks our own branch-and-bound ILP in tests.
+package exact
+
+import (
+	"errors"
+	"math"
+
+	"relpipe/internal/alloc"
+	"relpipe/internal/chain"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+)
+
+// ErrInfeasible is returned when no partition satisfies the bounds.
+var ErrInfeasible = errors.New("exact: no feasible mapping")
+
+// Profile summarizes one partition of the chain: its (allocation-
+// independent) worst-case period and latency on the homogeneous platform,
+// and the best achievable log-reliability with its optimal replica
+// counts. Profiles make bound sweeps cheap: the experiment harness
+// filters the same profile set against hundreds of (P, L) bounds.
+type Profile struct {
+	Ends    []int   // last task of each interval
+	Period  float64 // worst-case period of any mapping with this partition
+	Latency float64 // worst-case latency of any mapping with this partition
+	LogRel  float64 // best log-reliability (Algo-Alloc counts)
+	Counts  []int   // optimal replica count per interval
+}
+
+// Profiles enumerates every partition of c with at most p intervals and
+// returns its profile. The platform must be homogeneous.
+func Profiles(c chain.Chain, pl platform.Platform) ([]Profile, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if !pl.Homogeneous() {
+		return nil, errors.New("exact: heterogeneous platform; the exact solver covers the homogeneous case")
+	}
+	var out []Profile
+	n := len(c)
+	interval.Visit(n, func(parts interval.Partition) bool {
+		if len(parts) > pl.P() {
+			return true // not enough processors for one per interval
+		}
+		m, err := alloc.Greedy(c, pl, parts)
+		if err != nil {
+			return true
+		}
+		ev, err := mapping.Evaluate(c, pl, m)
+		if err != nil {
+			return true
+		}
+		counts := make([]int, len(parts))
+		for j := range m.Procs {
+			counts[j] = len(m.Procs[j])
+		}
+		out = append(out, Profile{
+			Ends:    parts.Clone().Ends(),
+			Period:  ev.WorstPeriod,
+			Latency: ev.WorstLatency,
+			LogRel:  ev.LogRel,
+			Counts:  counts,
+		})
+		return true
+	})
+	return out, nil
+}
+
+// Pareto removes profiles that are dominated on all three criteria: a
+// profile is dominated if another has period ≤, latency ≤ and logRel ≥
+// (with at least one strict). Sweeping bounds over the Pareto set gives
+// the same answers as sweeping the full set, orders of magnitude faster.
+func Pareto(ps []Profile) []Profile {
+	var out []Profile
+	for i, a := range ps {
+		dominated := false
+		for j, b := range ps {
+			if i == j {
+				continue
+			}
+			if b.Period <= a.Period && b.Latency <= a.Latency && b.LogRel >= a.LogRel &&
+				(b.Period < a.Period || b.Latency < a.Latency || b.LogRel > a.LogRel) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// BestUnder returns the index of the most reliable profile meeting the
+// bounds (<= 0 means unconstrained), or -1 if none does.
+func BestUnder(ps []Profile, period, latency float64) int {
+	best, bestLog := -1, math.Inf(-1)
+	for i, p := range ps {
+		if period > 0 && p.Period > period {
+			continue
+		}
+		if latency > 0 && p.Latency > latency {
+			continue
+		}
+		if p.LogRel > bestLog {
+			best, bestLog = i, p.LogRel
+		}
+	}
+	return best
+}
+
+// Materialize reconstructs the concrete mapping of a profile.
+func Materialize(p Profile) mapping.Mapping {
+	return mapping.AssignSequential(interval.FromEnds(p.Ends), p.Counts)
+}
+
+// Optimal returns the reliability-maximal mapping of c on the homogeneous
+// platform pl subject to the period and latency bounds (<= 0 for
+// unconstrained). It is a global optimum (see the package comment).
+func Optimal(c chain.Chain, pl platform.Platform, period, latency float64) (mapping.Mapping, mapping.Eval, error) {
+	ps, err := Profiles(c, pl)
+	if err != nil {
+		return mapping.Mapping{}, mapping.Eval{}, err
+	}
+	i := BestUnder(ps, period, latency)
+	if i < 0 {
+		return mapping.Mapping{}, mapping.Eval{}, ErrInfeasible
+	}
+	m := Materialize(ps[i])
+	ev, err := mapping.Evaluate(c, pl, m)
+	if err != nil {
+		return mapping.Mapping{}, mapping.Eval{}, err
+	}
+	return m, ev, nil
+}

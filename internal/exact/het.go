@@ -1,0 +1,101 @@
+package exact
+
+import (
+	"errors"
+	"math"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+)
+
+// OptimalHet exhaustively solves the tri-criteria problem on arbitrary
+// (heterogeneous) platforms: it enumerates every partition and every
+// assignment of processors to intervals. The problem is NP-complete even
+// without bounds (Theorem 5), and this search is exponential in both n
+// and p — it exists as the ground-truth oracle for validating the §7
+// heuristics and the §6 hardness gadget on small instances, and is
+// guarded accordingly (n ≤ 12, p ≤ 8).
+//
+// Feasibility uses worst-case period and latency; bounds ≤ 0 are
+// unconstrained.
+func OptimalHet(c chain.Chain, pl platform.Platform, period, latency float64) (mapping.Mapping, mapping.Eval, error) {
+	if err := c.Validate(); err != nil {
+		return mapping.Mapping{}, mapping.Eval{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return mapping.Mapping{}, mapping.Eval{}, err
+	}
+	n := len(c)
+	p := pl.P()
+	if n > 12 || p > 8 {
+		return mapping.Mapping{}, mapping.Eval{}, errors.New("exact: OptimalHet limited to n ≤ 12 tasks and p ≤ 8 processors; use the heuristics")
+	}
+	bestLog := math.Inf(-1)
+	var best mapping.Mapping
+	var bestEv mapping.Eval
+
+	assign := make([]int, p) // processor → interval index, -1 unused
+	counts := make([]int, n)
+	interval.Visit(n, func(parts interval.Partition) bool {
+		m := len(parts)
+		if m > p {
+			return true
+		}
+		for j := range counts[:m] {
+			counts[j] = 0
+		}
+		var rec func(u int)
+		rec = func(u int) {
+			if u == p {
+				for j := 0; j < m; j++ {
+					if counts[j] == 0 {
+						return
+					}
+				}
+				mp := mapping.Mapping{Parts: parts, Procs: make([][]int, m)}
+				for v, j := range assign {
+					if j >= 0 {
+						mp.Procs[j] = append(mp.Procs[j], v)
+					}
+				}
+				ev, err := mapping.Evaluate(c, pl, mp)
+				if err != nil {
+					return
+				}
+				if period > 0 && ev.WorstPeriod > period {
+					return
+				}
+				if latency > 0 && ev.WorstLatency > latency {
+					return
+				}
+				if ev.LogRel > bestLog {
+					bestLog = ev.LogRel
+					best = mp.Clone()
+					best.Parts = parts.Clone()
+					bestEv = ev
+				}
+				return
+			}
+			assign[u] = -1
+			rec(u + 1)
+			for j := 0; j < m; j++ {
+				if counts[j] >= pl.MaxReplicas {
+					continue
+				}
+				assign[u] = j
+				counts[j]++
+				rec(u + 1)
+				counts[j]--
+			}
+			assign[u] = -1
+		}
+		rec(0)
+		return true
+	})
+	if math.IsInf(bestLog, -1) {
+		return mapping.Mapping{}, mapping.Eval{}, ErrInfeasible
+	}
+	return best, bestEv, nil
+}

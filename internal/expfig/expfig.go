@@ -1,0 +1,418 @@
+// Package expfig reproduces the paper's evaluation (§8, Figures 6–15).
+//
+// Homogeneous experiments (Figs. 6–11): 100 random instances with n = 15
+// tasks (w ∈ [1,100], o ∈ [1,10]) on p = 10 unit-speed processors
+// (λ_p = 1e-8, λ_ℓ = 1e-5, b = 1, K = 3). Three curves per figure: the
+// optimal solver (the paper's ILP; here the equivalent partition-
+// enumeration optimum), Heur-L and Heur-P.
+//
+// Heterogeneous experiments (Figs. 12–15): same chains on platforms with
+// speeds ∈ [1,100], compared against homogeneous platforms of speed 5;
+// four curves (Heur-L/Heur-P × HET/HOM).
+//
+// Averaging conventions follow the paper: homogeneous failure-probability
+// figures average over the instances where *both* heuristics found a
+// solution (§8.1); heterogeneous ones average per curve over the
+// instances that curve solved (§8.2).
+package expfig
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/exact"
+	"relpipe/internal/failure"
+	"relpipe/internal/heur"
+	"relpipe/internal/platform"
+	"relpipe/internal/rng"
+)
+
+// Config sizes an experiment run. The zero value is filled with the
+// paper's parameters.
+type Config struct {
+	Instances int    // default 100
+	Tasks     int    // default 15
+	Procs     int    // default 10
+	Seed      uint64 // default 1
+	// Step multiplies sweep step sizes; >1 coarsens sweeps (benchmarks
+	// use coarse sweeps to stay fast).
+	Step int
+	// HetSpeedMax is the upper end of the heterogeneous speed range
+	// (default 100, the paper's stated value). The paper's Fig. 12
+	// shows the het curves ramping up at small periods, which is only
+	// consistent with a narrower range; HetSpeedMax = 10 (mean ≈ the
+	// speed-5 comparison platform) reproduces that ramp. See
+	// EXPERIMENTS.md.
+	HetSpeedMax float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Instances <= 0 {
+		c.Instances = 100
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 15
+	}
+	if c.Procs <= 0 {
+		c.Procs = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Step <= 0 {
+		c.Step = 1
+	}
+	if c.HetSpeedMax <= 1 {
+		c.HetSpeedMax = 100
+	}
+	return c
+}
+
+// Series is one plotted curve.
+type Series struct {
+	Label string    `json:"label"`
+	X     []float64 `json:"x"`
+	Y     []float64 `json:"y"`
+}
+
+// Figure is one reproduced figure.
+type Figure struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"xlabel"`
+	YLabel string   `json:"ylabel"`
+	YLog   bool     `json:"ylog"`
+	Series []Series `json:"series"`
+}
+
+// candidate is an allocation-resolved heuristic schedule on a homogeneous
+// platform: feasibility against any (P, L) pair is a filter, the best
+// reliability a max. Candidates let a full bound sweep reuse one
+// partition+allocation pass per instance.
+type candidate struct {
+	period, latency, logRel float64
+}
+
+// homInstance carries the precomputed per-instance state of the
+// homogeneous sweeps.
+type homInstance struct {
+	optimal      []exact.Profile // Pareto-filtered optimal profiles
+	heurL, heurP []candidate
+}
+
+// buildHom precomputes profiles and heuristic candidates for every
+// instance of the homogeneous experiments.
+func buildHom(cfg Config) []homInstance {
+	master := rng.New(cfg.Seed)
+	pl := platform.PaperHomogeneous(cfg.Procs)
+	out := make([]homInstance, cfg.Instances)
+	for i := range out {
+		c := chain.PaperRandom(master.Split(), cfg.Tasks)
+		profiles, err := exact.Profiles(c, pl)
+		if err != nil {
+			panic(fmt.Sprintf("expfig: %v", err)) // impossible with valid generators
+		}
+		out[i].optimal = exact.Pareto(profiles)
+		out[i].heurL = heurCandidates(c, pl, true)
+		out[i].heurP = heurCandidates(c, pl, false)
+	}
+	return out
+}
+
+// heurCandidates runs one heuristic's partition step for every interval
+// count and allocates with unconstrained Algo-Alloc; on a homogeneous
+// platform the allocation does not depend on the bounds, so the
+// candidates can be filtered per bound afterwards. This mirrors
+// heur.HeurL/HeurP exactly (verified by TestCandidatesMatchHeur).
+func heurCandidates(c chain.Chain, pl platform.Platform, latencyOriented bool) []candidate {
+	opts := heur.Options{}
+	var out []candidate
+	maxM := len(c)
+	if pl.P() < maxM {
+		maxM = pl.P()
+	}
+	for m := 1; m <= maxM; m++ {
+		res, ok := heur.Candidate(c, pl, m, latencyOriented, opts)
+		if !ok {
+			continue
+		}
+		out = append(out, candidate{
+			period:  res.Ev.WorstPeriod,
+			latency: res.Ev.WorstLatency,
+			logRel:  res.Ev.LogRel,
+		})
+	}
+	return out
+}
+
+// bestCandidate returns the best log-reliability among candidates meeting
+// the bounds, and whether any did.
+func bestCandidate(cs []candidate, period, latency float64) (float64, bool) {
+	best, ok := math.Inf(-1), false
+	for _, c := range cs {
+		if period > 0 && c.period > period {
+			continue
+		}
+		if latency > 0 && c.latency > latency {
+			continue
+		}
+		if c.logRel > best {
+			best, ok = c.logRel, true
+		}
+	}
+	return best, ok
+}
+
+// homSweep evaluates the three §8.1 curves over the given (P, L) pairs
+// and returns the solution-count figure and the failure-probability
+// figure.
+func homSweep(id1, id2, title1, title2, xlabel string, xs, periods, latencies []float64, insts []homInstance) (Figure, Figure) {
+	labels := []string{"ILP", "Heur-L", "Heur-P"}
+	counts := make([][]float64, 3)
+	fails := make([][]float64, 3)
+	for s := range counts {
+		counts[s] = make([]float64, len(xs))
+		fails[s] = make([]float64, len(xs))
+	}
+	for xi := range xs {
+		P, L := periods[xi], latencies[xi]
+		var nOpt, nL, nP int
+		var fOpt, fL, fP float64 // failure sums over the "both" set
+		var nBoth int
+		for _, in := range insts {
+			iOpt := exact.BestUnder(in.optimal, P, L)
+			lrL, okL := bestCandidate(in.heurL, P, L)
+			lrP, okP := bestCandidate(in.heurP, P, L)
+			if iOpt >= 0 {
+				nOpt++
+			}
+			if okL {
+				nL++
+			}
+			if okP {
+				nP++
+			}
+			if okL && okP && iOpt >= 0 {
+				nBoth++
+				fOpt += failure.FromLogRel(in.optimal[iOpt].LogRel)
+				fL += failure.FromLogRel(lrL)
+				fP += failure.FromLogRel(lrP)
+			}
+		}
+		counts[0][xi], counts[1][xi], counts[2][xi] = float64(nOpt), float64(nL), float64(nP)
+		if nBoth > 0 {
+			fails[0][xi] = fOpt / float64(nBoth)
+			fails[1][xi] = fL / float64(nBoth)
+			fails[2][xi] = fP / float64(nBoth)
+		} else {
+			fails[0][xi], fails[1][xi], fails[2][xi] = math.NaN(), math.NaN(), math.NaN()
+		}
+	}
+	mk := func(id, title, ylabel string, ylog bool, ys [][]float64) Figure {
+		f := Figure{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel, YLog: ylog}
+		for s := range labels {
+			f.Series = append(f.Series, Series{Label: labels[s], X: xs, Y: ys[s]})
+		}
+		return f
+	}
+	return mk(id1, title1, "number of solutions", false, counts),
+		mk(id2, title2, "average failure probability", true, fails)
+}
+
+func sweepValues(lo, hi, step float64) []float64 {
+	var xs []float64
+	for v := lo; v <= hi+1e-9; v += step {
+		xs = append(xs, v)
+	}
+	return xs
+}
+
+// Fig6and7 reproduces Figures 6 and 7: period sweep with L = 750 on
+// homogeneous platforms.
+func Fig6and7(cfg Config) (Figure, Figure) {
+	cfg = cfg.withDefaults()
+	insts := buildHom(cfg)
+	xs := sweepValues(10, 500, 10*float64(cfg.Step))
+	lat := make([]float64, len(xs))
+	for i := range lat {
+		lat[i] = 750
+	}
+	return homSweep("fig06", "fig07",
+		"Number of solutions for L=750 (homogeneous)",
+		"Average failure probability for L=750 (homogeneous)",
+		"bound on period", xs, xs, lat, insts)
+}
+
+// Fig8and9 reproduces Figures 8 and 9: latency sweep with P = 250.
+func Fig8and9(cfg Config) (Figure, Figure) {
+	cfg = cfg.withDefaults()
+	insts := buildHom(cfg)
+	xs := sweepValues(400, 1400, 20*float64(cfg.Step))
+	per := make([]float64, len(xs))
+	for i := range per {
+		per[i] = 250
+	}
+	return homSweep("fig08", "fig09",
+		"Number of solutions for P=250 (homogeneous)",
+		"Average failure probability for P=250 (homogeneous)",
+		"bound on latency", xs, per, xs, insts)
+}
+
+// Fig10and11 reproduces Figures 10 and 11: linked bounds L = 3P.
+func Fig10and11(cfg Config) (Figure, Figure) {
+	cfg = cfg.withDefaults()
+	insts := buildHom(cfg)
+	xs := sweepValues(150, 350, 5*float64(cfg.Step))
+	lat := make([]float64, len(xs))
+	for i := range lat {
+		lat[i] = 3 * xs[i]
+	}
+	return homSweep("fig10", "fig11",
+		"Number of solutions for L=3P (homogeneous)",
+		"Average failure probability for L=3P (homogeneous)",
+		"bound on period", xs, xs, lat, insts)
+}
+
+// hetInstance pairs one chain with its heterogeneous platform and the
+// speed-5 homogeneous comparison platform (§8.2).
+type hetInstance struct {
+	c        chain.Chain
+	het, hom platform.Platform
+}
+
+func buildHet(cfg Config) []hetInstance {
+	master := rng.New(cfg.Seed)
+	out := make([]hetInstance, cfg.Instances)
+	for i := range out {
+		out[i].c = chain.PaperRandom(master.Split(), cfg.Tasks)
+		out[i].het = platform.RandomHeterogeneous(master.Split(), cfg.Procs,
+			1, cfg.HetSpeedMax, 1e-8, 1e-8, 1, 1e-5, 3)
+		out[i].hom = platform.PaperHomogeneousComparison(cfg.Procs)
+	}
+	return out
+}
+
+// hetSweep evaluates the four §8.2 curves (Heur-L/Heur-P × HET/HOM).
+func hetSweep(id1, id2, title1, title2, xlabel string, xs, periods, latencies []float64, insts []hetInstance) (Figure, Figure) {
+	labels := []string{"Heur-L_HET", "Heur-P_HET", "Heur-L_HOM", "Heur-P_HOM"}
+	counts := make([][]float64, 4)
+	fails := make([][]float64, 4)
+	for s := range counts {
+		counts[s] = make([]float64, len(xs))
+		fails[s] = make([]float64, len(xs))
+	}
+	type variant struct {
+		fn  func(chain.Chain, platform.Platform, heur.Options) (heur.Result, bool, error)
+		het bool
+	}
+	variants := []variant{
+		{heur.HeurL, true}, {heur.HeurP, true}, {heur.HeurL, false}, {heur.HeurP, false},
+	}
+	for xi := range xs {
+		opts := heur.Options{Period: periods[xi], Latency: latencies[xi]}
+		for s, v := range variants {
+			n := 0
+			failSum := 0.0
+			for _, in := range insts {
+				pl := in.hom
+				if v.het {
+					pl = in.het
+				}
+				res, ok, err := v.fn(in.c, pl, opts)
+				if err != nil {
+					panic(fmt.Sprintf("expfig: %v", err))
+				}
+				if !ok {
+					continue
+				}
+				n++
+				failSum += res.Ev.FailProb
+			}
+			counts[s][xi] = float64(n)
+			if n > 0 {
+				fails[s][xi] = failSum / float64(n)
+			} else {
+				fails[s][xi] = math.NaN()
+			}
+		}
+	}
+	mk := func(id, title, ylabel string, ylog bool, ys [][]float64) Figure {
+		f := Figure{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel, YLog: ylog}
+		for s := range labels {
+			f.Series = append(f.Series, Series{Label: labels[s], X: xs, Y: ys[s]})
+		}
+		return f
+	}
+	return mk(id1, title1, "number of solutions", false, counts),
+		mk(id2, title2, "average failure probability", true, fails)
+}
+
+// Fig12and13 reproduces Figures 12 and 13: period sweep with L = 150,
+// heterogeneous vs homogeneous platforms.
+func Fig12and13(cfg Config) (Figure, Figure) {
+	cfg = cfg.withDefaults()
+	insts := buildHet(cfg)
+	xs := sweepValues(5, 150, 5*float64(cfg.Step))
+	lat := make([]float64, len(xs))
+	for i := range lat {
+		lat[i] = 150
+	}
+	return hetSweep("fig12", "fig13",
+		"Number of solutions for L=150 (het vs hom)",
+		"Average failure probability for L=150 (het vs hom)",
+		"period", xs, xs, lat, insts)
+}
+
+// Fig14and15 reproduces Figures 14 and 15: latency sweep with P = 50.
+func Fig14and15(cfg Config) (Figure, Figure) {
+	cfg = cfg.withDefaults()
+	insts := buildHet(cfg)
+	xs := sweepValues(50, 250, 5*float64(cfg.Step))
+	per := make([]float64, len(xs))
+	for i := range per {
+		per[i] = 50
+	}
+	return hetSweep("fig14", "fig15",
+		"Number of solutions for P=50 (het vs hom)",
+		"Average failure probability for P=50 (het vs hom)",
+		"latency", xs, per, xs, insts)
+}
+
+// All runs every figure in order 6..15.
+func All(cfg Config) []Figure {
+	f6, f7 := Fig6and7(cfg)
+	f8, f9 := Fig8and9(cfg)
+	f10, f11 := Fig10and11(cfg)
+	f12, f13 := Fig12and13(cfg)
+	f14, f15 := Fig14and15(cfg)
+	return []Figure{f6, f7, f8, f9, f10, f11, f12, f13, f14, f15}
+}
+
+// WriteCSV emits the figure as "x,series1,series2,…" rows.
+func WriteCSV(f Figure, w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	header := f.XLabel
+	for _, s := range f.Series {
+		header += "," + s.Label
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if len(f.Series) == 0 {
+		return nil
+	}
+	for i := range f.Series[0].X {
+		row := fmt.Sprintf("%g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			row += fmt.Sprintf(",%g", s.Y[i])
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package expfig
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHeuristicGapAtLeastOne(t *testing.T) {
+	fig := HeuristicGap(small())
+	if fig.ID != "figA4" || len(fig.Series) != 2 {
+		t.Fatalf("figure = %s with %d series", fig.ID, len(fig.Series))
+	}
+	defined := 0
+	for s, series := range fig.Series {
+		for i, v := range series.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			defined++
+			// logRel ratios are >= 1: heuristics cannot beat the optimum.
+			if v < 1-1e-9 {
+				t.Fatalf("series %d point %d: ratio %v < 1", s, i, v)
+			}
+		}
+	}
+	if defined == 0 {
+		t.Fatal("gap figure entirely undefined")
+	}
+	// Heur-P must be closer to optimal than Heur-L on average.
+	meanOf := func(ys []float64) (float64, int) {
+		s, n := 0.0, 0
+		for _, v := range ys {
+			if !math.IsNaN(v) {
+				s += v
+				n++
+			}
+		}
+		return s, n
+	}
+	sumL, nL := meanOf(fig.Series[0].Y)
+	sumP, nP := meanOf(fig.Series[1].Y)
+	if nL > 0 && nP > 0 && sumP/float64(nP) > sumL/float64(nL) {
+		t.Fatalf("Heur-P mean gap %v worse than Heur-L %v", sumP/float64(nP), sumL/float64(nL))
+	}
+}
+
+func TestRoutingOverheadMonotoneInLinkRate(t *testing.T) {
+	cfg := Config{Instances: 6, Tasks: 10, Procs: 10, Seed: 17, Step: 2}
+	fig := RoutingOverhead(cfg)
+	if fig.ID != "figA1" || len(fig.Series) != 2 {
+		t.Fatalf("figure = %s with %d series", fig.ID, len(fig.Series))
+	}
+	for s, series := range fig.Series {
+		first, last, max := math.NaN(), math.NaN(), 0.0
+		for i, v := range series.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			// Routing can only hurt: the ratio is >= 1 (the unrouted
+			// diagram has both fewer hops and link diversity).
+			if v < 1-1e-9 {
+				t.Fatalf("series %d point %d: ratio %v < 1", s, i, v)
+			}
+			if math.IsNaN(first) {
+				first = v
+			}
+			last = v
+			if v > max {
+				max = v
+			}
+		}
+		if math.IsNaN(first) {
+			t.Fatalf("series %d entirely undefined", s)
+		}
+		// Lossier links make routing relatively more expensive overall
+		// (the ratio need not be pointwise monotone: at high rates
+		// higher-order terms bend it back).
+		if last < first {
+			t.Fatalf("series %d: ratio at the lossiest point (%v) below the most reliable point (%v)", s, last, first)
+		}
+		if max < 1.05 {
+			t.Fatalf("series %d: no visible routing cost anywhere (max ratio %v)", s, max)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package failure implements the reliability arithmetic of the paper's
+// failure model (Shatz & Wang): transient failures with a constant Poisson
+// rate λ per hardware component, so that a component running for a
+// duration d is reliable with probability e^{-λd}.
+//
+// All computations are carried in failure-probability space.
+// The probabilities at play span 1e-12 … 1e-3 (λ_p = 1e-8, λ_ℓ = 1e-5 in
+// the paper's experiments), far below the resolution of 1-x arithmetic
+// around 1.0, so the package systematically uses expm1/log1p:
+//
+//	failure of duration d at rate λ:  f = -expm1(-λd)          (exact)
+//	serial composition:               F = -expm1(Σ log1p(-f_i)) (exact)
+//	parallel composition:             F = Π f_i                 (exact)
+//
+// Reliability-space helpers (LogRel) are provided for objective functions
+// that maximize Σ log r_i.
+package failure
+
+import "math"
+
+// Prob computes the probability that a component with failure rate lambda
+// (per time unit) fails at least once during duration d, i.e. 1 - e^{-λd},
+// evaluated as -expm1(-λd) to preserve accuracy for small λd.
+// It panics on negative lambda or d.
+func Prob(lambda, d float64) float64 {
+	if lambda < 0 || d < 0 {
+		panic("failure: negative rate or duration")
+	}
+	return -math.Expm1(-lambda * d)
+}
+
+// LogRel returns log(1-f), the log-reliability of a component with
+// failure probability f. LogRel(0) = 0; LogRel(1) = -Inf.
+func LogRel(f float64) float64 { return math.Log1p(-f) }
+
+// FromLogRel converts a log-reliability back to a failure probability.
+func FromLogRel(logR float64) float64 { return -math.Expm1(logR) }
+
+// Serial returns the failure probability of a series composition: the
+// system fails if any component fails. Computed as 1 - Π(1-f_i) in log
+// space for accuracy.
+func Serial(fs ...float64) float64 {
+	s := 0.0
+	for _, f := range fs {
+		s += math.Log1p(-f)
+	}
+	return -math.Expm1(s)
+}
+
+// Parallel returns the failure probability of a parallel composition: the
+// system fails only if every component fails. Products of small failure
+// probabilities are exactly representable down to ~1e-300, so a plain
+// product is accurate.
+func Parallel(fs ...float64) float64 {
+	p := 1.0
+	for _, f := range fs {
+		p *= f
+	}
+	return p
+}
+
+// SerialLogRel returns the log-reliability of a series composition,
+// Σ log(1-f_i). This is the natural accumulator for mapping-wide
+// reliability objectives.
+func SerialLogRel(fs ...float64) float64 {
+	s := 0.0
+	for _, f := range fs {
+		s += math.Log1p(-f)
+	}
+	return s
+}
+
+// Replicated returns the failure probability of q identical replicas in
+// parallel, f^q, guarding the q = 0 edge case (no replicas: certain
+// failure).
+func Replicated(f float64, q int) float64 {
+	if q <= 0 {
+		return 1
+	}
+	p := 1.0
+	for i := 0; i < q; i++ {
+		p *= f
+	}
+	return p
+}
+
+// Rel returns the reliability 1-f. Only use the result for display or for
+// moderate probabilities; chains of arithmetic should stay in failure
+// space.
+func Rel(f float64) float64 { return 1 - f }

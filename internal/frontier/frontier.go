@@ -1,0 +1,150 @@
+// Package frontier enumerates Pareto-optimal trade-offs between the
+// three antagonistic criteria — reliability, period, latency — of the
+// tri-criteria mapping problem on homogeneous platforms. The paper
+// explores this space one bound pair at a time (Figures 6–11); the
+// frontier view exposes the whole surface of one instance at once:
+// every (period, latency, failure) triple such that no mapping improves
+// one criterion without degrading another.
+package frontier
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/exact"
+	"relpipe/internal/failure"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+)
+
+// Point is one Pareto-optimal trade-off with enough information to
+// materialize its mapping.
+type Point struct {
+	Period   float64 `json:"period"`
+	Latency  float64 `json:"latency"`
+	FailProb float64 `json:"failProb"`
+	LogRel   float64 `json:"-"`
+	Ends     []int   `json:"ends"`
+	Counts   []int   `json:"counts"`
+}
+
+// Mapping reconstructs the concrete mapping of the point.
+func (p Point) Mapping() mapping.Mapping {
+	return mapping.AssignSequential(interval.FromEnds(p.Ends), p.Counts)
+}
+
+// Compute returns the full tri-criteria Pareto frontier of the instance,
+// sorted by period, then latency. The platform must be homogeneous (the
+// underlying solver enumerates partitions with optimal allocation, which
+// is exact there).
+func Compute(c chain.Chain, pl platform.Platform) ([]Point, error) {
+	profiles, err := exact.Profiles(c, pl)
+	if err != nil {
+		return nil, err
+	}
+	pareto := exact.Pareto(profiles)
+	pts := make([]Point, len(pareto))
+	for i, pr := range pareto {
+		pts[i] = Point{
+			Period:   pr.Period,
+			Latency:  pr.Latency,
+			FailProb: failure.FromLogRel(pr.LogRel),
+			LogRel:   pr.LogRel,
+			Ends:     pr.Ends,
+			Counts:   pr.Counts,
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].Period != pts[b].Period {
+			return pts[a].Period < pts[b].Period
+		}
+		if pts[a].Latency != pts[b].Latency {
+			return pts[a].Latency < pts[b].Latency
+		}
+		return pts[a].LogRel > pts[b].LogRel
+	})
+	return pts, nil
+}
+
+// PeriodReliability projects the frontier onto the (period, failure)
+// plane with the latency unconstrained: for every distinct achievable
+// period, the best achievable failure probability at that period or
+// below. The result is strictly improving in both coordinates.
+func PeriodReliability(pts []Point) []Point {
+	return project(pts, func(p Point) float64 { return p.Period })
+}
+
+// LatencyReliability projects onto the (latency, failure) plane with the
+// period unconstrained.
+func LatencyReliability(pts []Point) []Point {
+	return project(pts, func(p Point) float64 { return p.Latency })
+}
+
+// project computes the staircase lower envelope of failure probability
+// against the chosen coordinate.
+func project(pts []Point, key func(Point) float64) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(a, b int) bool {
+		ka, kb := key(sorted[a]), key(sorted[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return sorted[a].LogRel > sorted[b].LogRel
+	})
+	var out []Point
+	for _, p := range sorted {
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			if key(p) == key(last) || p.LogRel <= last.LogRel {
+				continue // not a strict improvement
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// PeriodLatency projects onto the (period, latency) plane subject to a
+// reliability floor: the non-dominated (period, latency) pairs among
+// points with log-reliability at least minLogRel.
+func PeriodLatency(pts []Point, minLogRel float64) []Point {
+	var eligible []Point
+	for _, p := range pts {
+		if p.LogRel >= minLogRel {
+			eligible = append(eligible, p)
+		}
+	}
+	sort.Slice(eligible, func(a, b int) bool {
+		if eligible[a].Period != eligible[b].Period {
+			return eligible[a].Period < eligible[b].Period
+		}
+		return eligible[a].Latency < eligible[b].Latency
+	})
+	var out []Point
+	for _, p := range eligible {
+		if len(out) > 0 && p.Latency >= out[len(out)-1].Latency {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// WriteCSV emits the points as "period,latency,failProb,intervals" rows.
+func WriteCSV(pts []Point, w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "period,latency,failProb,intervals"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%g,%g,%g,%d\n", p.Period, p.Latency, p.FailProb, len(p.Ends)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

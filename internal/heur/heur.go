@@ -1,0 +1,159 @@
+// Package heur implements the paper's §7 heuristics for the general
+// (NP-complete) problem: maximize reliability on a possibly heterogeneous
+// platform under period and latency bounds.
+//
+// Each heuristic tries every interval count m ∈ [1, min(n,p)]; for each m
+// it builds one candidate partition (Heur-L cuts at the cheapest
+// communications, Heur-P balances interval loads), allocates processors
+// with the §7.2 variant of Algo-Alloc, and keeps the most reliable
+// mapping that meets the bounds.
+package heur
+
+import (
+	"relpipe/internal/alloc"
+	"relpipe/internal/chain"
+	"relpipe/internal/dp"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+)
+
+// Options configures a heuristic run.
+type Options struct {
+	// Period and Latency bound the mapping; values <= 0 are
+	// unconstrained. Feasibility uses worst-case metrics unless
+	// UseExpected is set (on homogeneous platforms they coincide).
+	Period, Latency float64
+	UseExpected     bool
+	// Allowed optionally restricts which processor may serve which
+	// interval (§7.2); nil allows everything.
+	Allowed alloc.Constraint
+}
+
+// Result is a feasible mapping produced by a heuristic.
+type Result struct {
+	M         mapping.Mapping
+	Ev        mapping.Eval
+	Intervals int // the interval count m that produced the winner
+}
+
+// meets applies the Options feasibility test.
+func (o Options) meets(ev mapping.Eval) bool {
+	p, l := ev.WorstPeriod, ev.WorstLatency
+	if o.UseExpected {
+		p, l = ev.ExpPeriod, ev.ExpLatency
+	}
+	if o.Period > 0 && p > o.Period {
+		return false
+	}
+	if o.Latency > 0 && l > o.Latency {
+		return false
+	}
+	return true
+}
+
+// Candidate builds the single candidate mapping of one heuristic for a
+// given interval count m: the partition (Heur-L when latencyOriented,
+// Heur-P otherwise), the §7.2 allocation, and its evaluation — without
+// applying the feasibility filter. The experiment harness generates
+// candidates once per instance and filters them against many bound pairs
+// (valid on homogeneous platforms, where the allocation does not depend
+// on the bounds).
+func Candidate(c chain.Chain, pl platform.Platform, m int, latencyOriented bool, opts Options) (Result, bool) {
+	var parts interval.Partition
+	var err error
+	if latencyOriented {
+		parts, err = dp.HeurLPartition(c, m)
+	} else {
+		parts, err = dp.HeurPPartition(c, m, meanSpeed(pl), pl.Bandwidth)
+	}
+	if err != nil {
+		return Result{}, false
+	}
+	mp, err := alloc.GreedyHet(c, pl, parts, opts.Period, opts.Allowed)
+	if err != nil {
+		return Result{}, false
+	}
+	ev, err := mapping.Evaluate(c, pl, mp)
+	if err != nil {
+		return Result{}, false
+	}
+	return Result{M: mp, Ev: ev, Intervals: m}, true
+}
+
+// run drives the two-step scheme shared by both heuristics.
+func run(c chain.Chain, pl platform.Platform, opts Options, latencyOriented bool) (Result, bool, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, false, err
+	}
+	if err := pl.Validate(); err != nil {
+		return Result{}, false, err
+	}
+	maxM := len(c)
+	if pl.P() < maxM {
+		maxM = pl.P()
+	}
+	var best Result
+	found := false
+	for m := 1; m <= maxM; m++ {
+		res, ok := Candidate(c, pl, m, latencyOriented, opts)
+		if !ok || !opts.meets(res.Ev) {
+			continue
+		}
+		if !found || res.Ev.LogRel > best.Ev.LogRel {
+			best = res
+			found = true
+		}
+	}
+	return best, found, nil
+}
+
+// meanSpeed returns the average processor speed, the representative speed
+// Heur-P's partition DP uses to trade compute time against communication
+// time on heterogeneous platforms (on homogeneous ones it is the exact
+// speed).
+func meanSpeed(pl platform.Platform) float64 {
+	s := 0.0
+	for _, p := range pl.Procs {
+		s += p.Speed
+	}
+	return s / float64(pl.P())
+}
+
+// HeurP is the period-oriented heuristic: partitions come from the
+// load-balancing dynamic program (Algorithm 4).
+func HeurP(c chain.Chain, pl platform.Platform, opts Options) (Result, bool, error) {
+	return run(c, pl, opts, false)
+}
+
+// HeurL is the latency-oriented heuristic: partitions cut the chain at
+// the m-1 cheapest communications (Algorithm 3).
+func HeurL(c chain.Chain, pl platform.Platform, opts Options) (Result, bool, error) {
+	return run(c, pl, opts, true)
+}
+
+// Best runs both heuristics and returns the more reliable feasible
+// result, the paper's "select the schedule having the best reliability".
+func Best(c chain.Chain, pl platform.Platform, opts Options) (Result, bool, error) {
+	rp, okP, err := HeurP(c, pl, opts)
+	if err != nil {
+		return Result{}, false, err
+	}
+	rl, okL, err := HeurL(c, pl, opts)
+	if err != nil {
+		return Result{}, false, err
+	}
+	switch {
+	case okP && okL:
+		if rp.Ev.LogRel >= rl.Ev.LogRel {
+			return rp, true, nil
+		}
+		return rl, true, nil
+	case okP:
+		return rp, true, nil
+	case okL:
+		return rl, true, nil
+	default:
+		return Result{}, false, nil
+	}
+}

@@ -1,0 +1,302 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relpipe/internal/rng"
+)
+
+func solveOrFatal(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTextbookMaximization(t *testing.T) {
+	// maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+	// Optimum (2, 6) with value 36 (classic Dantzig example).
+	p, err := NewProblem(2, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRow(t, p, []float64{1, 0}, LE, 4)
+	mustRow(t, p, []float64{0, 2}, LE, 12)
+	mustRow(t, p, []float64{3, 2}, LE, 18)
+	s := solveOrFatal(t, p)
+	if !almostEq(s.Obj, 36, 1e-7) {
+		t.Fatalf("obj = %v, want 36", s.Obj)
+	}
+	if !almostEq(s.X[0], 2, 1e-7) || !almostEq(s.X[1], 6, 1e-7) {
+		t.Fatalf("x = %v, want (2,6)", s.X)
+	}
+}
+
+func mustRow(t *testing.T, p *Problem, coefs []float64, s Sense, rhs float64) {
+	t.Helper()
+	if err := p.AddRow(coefs, s, rhs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// maximize x + y s.t. x + y = 5, x <= 3 → obj 5.
+	p, _ := NewProblem(2, []float64{1, 1})
+	mustRow(t, p, []float64{1, 1}, EQ, 5)
+	mustRow(t, p, []float64{1, 0}, LE, 3)
+	s := solveOrFatal(t, p)
+	if !almostEq(s.Obj, 5, 1e-7) {
+		t.Fatalf("obj = %v, want 5", s.Obj)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// maximize -x s.t. x >= 3 → x = 3.
+	p, _ := NewProblem(1, []float64{-1})
+	mustRow(t, p, []float64{1}, GE, 3)
+	s := solveOrFatal(t, p)
+	if !almostEq(s.X[0], 3, 1e-7) {
+		t.Fatalf("x = %v, want 3", s.X[0])
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -2 is x >= 2; maximize -x → x = 2.
+	p, _ := NewProblem(1, []float64{-1})
+	mustRow(t, p, []float64{-1}, LE, -2)
+	s := solveOrFatal(t, p)
+	if !almostEq(s.X[0], 2, 1e-7) {
+		t.Fatalf("x = %v, want 2", s.X[0])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p, _ := NewProblem(1, []float64{1})
+	mustRow(t, p, []float64{1}, GE, 5)
+	mustRow(t, p, []float64{1}, LE, 3)
+	if s := p.Solve(); s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p, _ := NewProblem(2, []float64{1, 0})
+	mustRow(t, p, []float64{0, 1}, LE, 1)
+	if s := p.Solve(); s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	p, _ := NewProblem(2, []float64{-1, -2})
+	s := solveOrFatal(t, p)
+	if s.Obj != 0 {
+		t.Fatalf("obj = %v, want 0", s.Obj)
+	}
+	p2, _ := NewProblem(1, []float64{1})
+	if s := p2.Solve(); s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestDegenerateCycling(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	// maximize 0.75x1 - 150x2 + 0.02x3 - 6x4
+	// s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 <= 0
+	//      0.5x1 - 90x2 - 0.02x3 + 3x4 <= 0
+	//      x3 <= 1
+	p, _ := NewProblem(4, []float64{0.75, -150, 0.02, -6})
+	mustRow(t, p, []float64{0.25, -60, -0.04, 9}, LE, 0)
+	mustRow(t, p, []float64{0.5, -90, -0.02, 3}, LE, 0)
+	mustRow(t, p, []float64{0, 0, 1, 0}, LE, 1)
+	s := solveOrFatal(t, p)
+	if !almostEq(s.Obj, 0.05, 1e-7) {
+		t.Fatalf("obj = %v, want 0.05", s.Obj)
+	}
+}
+
+func TestAssignmentRelaxationIsIntegral(t *testing.T) {
+	// 2x2 assignment problem: the LP relaxation of an assignment
+	// polytope has integral vertices.
+	// maximize 3a11 + 1a12 + 2a21 + 4a22, row/col sums = 1.
+	p, _ := NewProblem(4, []float64{3, 1, 2, 4})
+	mustRow(t, p, []float64{1, 1, 0, 0}, EQ, 1)
+	mustRow(t, p, []float64{0, 0, 1, 1}, EQ, 1)
+	mustRow(t, p, []float64{1, 0, 1, 0}, EQ, 1)
+	mustRow(t, p, []float64{0, 1, 0, 1}, EQ, 1)
+	s := solveOrFatal(t, p)
+	if !almostEq(s.Obj, 7, 1e-7) {
+		t.Fatalf("obj = %v, want 7", s.Obj)
+	}
+	for i, v := range s.X {
+		if !almostEq(v, 0, 1e-7) && !almostEq(v, 1, 1e-7) {
+			t.Fatalf("x[%d] = %v, want integral", i, v)
+		}
+	}
+}
+
+func TestSparseRow(t *testing.T) {
+	p, _ := NewProblem(3, []float64{1, 1, 1})
+	if err := p.AddSparseRow(map[int]float64{0: 1, 2: 1}, LE, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSparseRow(map[int]float64{1: 1}, LE, 3); err != nil {
+		t.Fatal(err)
+	}
+	s := solveOrFatal(t, p)
+	if !almostEq(s.Obj, 5, 1e-7) {
+		t.Fatalf("obj = %v, want 5", s.Obj)
+	}
+	if err := p.AddSparseRow(map[int]float64{7: 1}, LE, 1); err == nil {
+		t.Fatal("out-of-range sparse index accepted")
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	if _, err := NewProblem(0, nil); err == nil {
+		t.Fatal("NewProblem(0) accepted")
+	}
+	if _, err := NewProblem(2, []float64{1}); err == nil {
+		t.Fatal("objective length mismatch accepted")
+	}
+	p, _ := NewProblem(2, []float64{1, 1})
+	if err := p.AddRow([]float64{1}, LE, 1); err == nil {
+		t.Fatal("row length mismatch accepted")
+	}
+}
+
+func TestSolutionFeasibility(t *testing.T) {
+	// Random box-constrained LPs: the returned point must satisfy every
+	// constraint and dominate random feasible sample points.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.IntN(5)
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = r.Uniform(-5, 5)
+		}
+		p, err := NewProblem(n, obj)
+		if err != nil {
+			return false
+		}
+		// Box: x_i <= u_i keeps it bounded.
+		ub := make([]float64, n)
+		for i := range ub {
+			ub[i] = r.Uniform(0.5, 10)
+			row := make([]float64, n)
+			row[i] = 1
+			if p.AddRow(row, LE, ub[i]) != nil {
+				return false
+			}
+		}
+		// A few random LE rows with non-negative coefficients (always
+		// feasible at x=0).
+		extra := r.IntN(4)
+		rowsC := make([][]float64, 0, extra)
+		rowsB := make([]float64, 0, extra)
+		for k := 0; k < extra; k++ {
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = r.Uniform(0, 3)
+			}
+			b := r.Uniform(1, 20)
+			rowsC = append(rowsC, row)
+			rowsB = append(rowsB, b)
+			if p.AddRow(row, LE, b) != nil {
+				return false
+			}
+		}
+		s := p.Solve()
+		if s.Status != Optimal {
+			return false
+		}
+		// Feasibility of the returned point.
+		for i, v := range s.X {
+			if v < -1e-7 || v > ub[i]+1e-7 {
+				return false
+			}
+		}
+		for k := range rowsC {
+			dot := 0.0
+			for i := range s.X {
+				dot += rowsC[k][i] * s.X[i]
+			}
+			if dot > rowsB[k]+1e-7 {
+				return false
+			}
+		}
+		// Optimality against sampled feasible points.
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = r.Uniform(0, ub[i])
+			}
+			feasible := true
+			for k := range rowsC {
+				dot := 0.0
+				for i := range x {
+					dot += rowsC[k][i] * x[i]
+				}
+				if dot > rowsB[k] {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			val := 0.0
+			for i := range x {
+				val += obj[i] * x[i]
+			}
+			if val > s.Obj+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(9).String() == "" {
+		t.Fatal("Status.String mismatch")
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	r := rng.New(1)
+	const n, m = 60, 30
+	obj := make([]float64, n)
+	for i := range obj {
+		obj[i] = r.Uniform(-1, 1)
+	}
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	for k := range rows {
+		rows[k] = make([]float64, n)
+		for i := range rows[k] {
+			rows[k][i] = r.Uniform(0, 1)
+		}
+		rhs[k] = r.Uniform(5, 50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := NewProblem(n, obj)
+		for k := range rows {
+			_ = p.AddRow(rows[k], LE, rhs[k])
+		}
+		if s := p.Solve(); s.Status != Optimal {
+			b.Fatal("not optimal")
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package multichain maps *several* independent pipelined applications
+// onto one shared homogeneous platform — the situation of the paper's
+// §1 Autosar motivation, where many vehicle functions (each a pipelined
+// real-time chain with its own period, latency and reliability needs)
+// share the same set of ECUs. The paper maps one chain; this extension
+// partitions the processor set among chains optimally.
+//
+// The decomposition exploits the paper's structure results twice. For a
+// single chain on k identical processors, the best achievable
+// log-reliability R_c(k) under the chain's bounds is computed from the
+// partition enumeration: for each feasible partition, Algo-Alloc's
+// greedy gain sequence yields the optimal value at *every* processor
+// budget k simultaneously (the greedy prefix property behind Theorem 4).
+// Chains then compete for processors through a knapsack-style dynamic
+// program over Σ_c R_c(k_c), which is exact because the per-chain curves
+// are themselves exact.
+package multichain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/failure"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+)
+
+// ErrInfeasible is returned when the chains cannot all fit.
+var ErrInfeasible = errors.New("multichain: no feasible joint mapping")
+
+// App is one application sharing the platform: a chain with its own
+// real-time bounds (values ≤ 0 unconstrained).
+type App struct {
+	Chain   chain.Chain
+	Period  float64
+	Latency float64
+}
+
+// Result is a joint mapping: one interval mapping per application, over
+// pairwise-disjoint processor sets.
+type Result struct {
+	Mappings []mapping.Mapping
+	Evals    []mapping.Eval
+	// LogRel is the total log-reliability Σ_c log r_c: the log of the
+	// probability that every application processes a data set
+	// correctly.
+	LogRel float64
+}
+
+// curve holds, for one app, the best log-reliability per processor
+// budget plus the argmax structure for reconstruction.
+type curve struct {
+	minProcs int
+	logRel   []float64 // indexed by processor count, -Inf if infeasible
+	ends     [][]int   // winning partition per count
+	counts   [][]int   // winning replica counts per count
+}
+
+// buildCurve enumerates the app's partitions and computes the exact
+// R(k) curve for k = 0..p.
+func buildCurve(app App, pl platform.Platform, p int) (curve, error) {
+	if err := app.Chain.Validate(); err != nil {
+		return curve{}, err
+	}
+	n := len(app.Chain)
+	cv := curve{
+		minProcs: math.MaxInt32,
+		logRel:   make([]float64, p+1),
+		ends:     make([][]int, p+1),
+		counts:   make([][]int, p+1),
+	}
+	for k := range cv.logRel {
+		cv.logRel[k] = math.Inf(-1)
+	}
+	kMax := pl.MaxReplicas
+
+	interval.Visit(n, func(parts interval.Partition) bool {
+		m := len(parts)
+		if m > p {
+			return true
+		}
+		// Allocation-independent feasibility of the partition.
+		per, lat := 0.0, 0.0
+		for j := range parts {
+			w := pl.ComputeTime(0, parts.Work(c0(app), j))
+			o := pl.CommTime(parts.Out(c0(app), j))
+			per = math.Max(per, math.Max(w, o))
+			lat += w + o
+		}
+		if app.Period > 0 && per > app.Period {
+			return true
+		}
+		if app.Latency > 0 && lat > app.Latency {
+			return true
+		}
+		// Greedy gain sequence: value(k) for every k >= m at once.
+		repFail := make([]float64, m)
+		stageFail := make([]float64, m)
+		counts := make([]int, m)
+		val := 0.0
+		for j := range parts {
+			repFail[j] = mapping.ReplicaFailProb(pl, 0, parts.Work(c0(app), j), parts.In(c0(app), j), parts.Out(c0(app), j))
+			stageFail[j] = repFail[j]
+			counts[j] = 1
+			val += failure.LogRel(stageFail[j])
+		}
+		record := func(k int) {
+			if val > cv.logRel[k] {
+				cv.logRel[k] = val
+				cv.ends[k] = parts.Clone().Ends()
+				cv.counts[k] = append([]int(nil), counts...)
+			}
+		}
+		if m < cv.minProcs {
+			cv.minProcs = m
+		}
+		record(m)
+		for k := m + 1; k <= p; k++ {
+			best, bestGain := -1, math.Inf(-1)
+			for j := 0; j < m; j++ {
+				if counts[j] >= kMax {
+					continue
+				}
+				gain := failure.LogRel(stageFail[j]*repFail[j]) - failure.LogRel(stageFail[j])
+				if gain > bestGain {
+					best, bestGain = j, gain
+				}
+			}
+			if best < 0 {
+				// Saturated at K replicas everywhere: the value stays
+				// flat for all larger budgets.
+				for kk := k; kk <= p; kk++ {
+					record(kk)
+				}
+				break
+			}
+			counts[best]++
+			stageFail[best] *= repFail[best]
+			val += bestGain
+			record(k)
+		}
+		return true
+	})
+	if cv.minProcs == math.MaxInt32 {
+		return curve{}, fmt.Errorf("%w: one application has no feasible partition", ErrInfeasible)
+	}
+	// R(k) must be monotone in k: a larger budget may always ignore
+	// processors. (The per-partition curves are monotone; the max could
+	// still dip where a partition becomes newly feasible — it cannot,
+	// but enforce it for safety.)
+	for k := 1; k <= p; k++ {
+		if cv.logRel[k] < cv.logRel[k-1] {
+			cv.logRel[k] = cv.logRel[k-1]
+			cv.ends[k] = cv.ends[k-1]
+			cv.counts[k] = cv.counts[k-1]
+		}
+	}
+	return cv, nil
+}
+
+// c0 unwraps the chain (helper keeping call sites short).
+func c0(a App) chain.Chain { return a.Chain }
+
+// Map computes the joint mapping of the applications on the shared
+// homogeneous platform maximizing Σ_c log r_c subject to every
+// application's own bounds.
+func Map(apps []App, pl platform.Platform) (Result, error) {
+	if len(apps) == 0 {
+		return Result{}, errors.New("multichain: no applications")
+	}
+	if err := pl.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !pl.Homogeneous() {
+		return Result{}, errors.New("multichain: Map requires a homogeneous platform")
+	}
+	p := pl.P()
+	curves := make([]curve, len(apps))
+	for i, app := range apps {
+		cv, err := buildCurve(app, pl, p)
+		if err != nil {
+			return Result{}, err
+		}
+		curves[i] = cv
+	}
+
+	// Knapsack DP over processor budgets.
+	const unset = -1
+	F := make([][]float64, len(apps)+1)
+	choice := make([][]int, len(apps)+1)
+	for i := range F {
+		F[i] = make([]float64, p+1)
+		choice[i] = make([]int, p+1)
+		for k := range F[i] {
+			F[i][k] = math.Inf(-1)
+			choice[i][k] = unset
+		}
+	}
+	for k := 0; k <= p; k++ {
+		F[0][k] = 0
+	}
+	for i, cv := range curves {
+		for k := 0; k <= p; k++ {
+			for ki := cv.minProcs; ki <= k; ki++ {
+				if math.IsInf(cv.logRel[ki], -1) || math.IsInf(F[i][k-ki], -1) {
+					continue
+				}
+				if v := F[i][k-ki] + cv.logRel[ki]; v > F[i+1][k] {
+					F[i+1][k] = v
+					choice[i+1][k] = ki
+				}
+			}
+		}
+	}
+	if math.IsInf(F[len(apps)][p], -1) {
+		return Result{}, ErrInfeasible
+	}
+
+	// Reconstruct, handing out processor blocks low-to-high.
+	budgets := make([]int, len(apps))
+	k := p
+	for i := len(apps); i >= 1; i-- {
+		budgets[i-1] = choice[i][k]
+		k -= budgets[i-1]
+	}
+	res := Result{LogRel: F[len(apps)][p]}
+	next := 0
+	for i, cv := range curves {
+		ki := budgets[i]
+		parts := interval.FromEnds(cv.ends[ki])
+		mp := mapping.Mapping{Parts: parts, Procs: make([][]int, len(parts))}
+		for j, q := range cv.counts[ki] {
+			for r := 0; r < q; r++ {
+				mp.Procs[j] = append(mp.Procs[j], next)
+				next++
+			}
+		}
+		ev, err := mapping.Evaluate(apps[i].Chain, pl, mp)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Mappings = append(res.Mappings, mp)
+		res.Evals = append(res.Evals, ev)
+	}
+	return res, nil
+}
+
+// TotalFailProb converts the joint log-reliability into the probability
+// that at least one application loses a given data set.
+func (r Result) TotalFailProb() float64 { return failure.FromLogRel(r.LogRel) }
+
+// ProcessorsOf returns the sorted processor set of application i.
+func (r Result) ProcessorsOf(i int) []int {
+	var out []int
+	for _, ps := range r.Mappings[i].Procs {
+		out = append(out, ps...)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package rbd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relpipe/internal/rng"
+)
+
+func TestMinimalPathsSeriesParallel(t *testing.T) {
+	// a in series with (b || c): minimal paths are {a,b} and {a,c}.
+	n := Series(NewBlock("a", 0.1), Parallel(NewBlock("b", 0.2), NewBlock("c", 0.3)))
+	paths, err := SPSystem(n).MinimalPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2", paths)
+	}
+	if len(paths[0]) != 2 || paths[0][0] != 0 || paths[0][1] != 1 {
+		t.Fatalf("first path = %v, want [0 1]", paths[0])
+	}
+	if len(paths[1]) != 2 || paths[1][0] != 0 || paths[1][1] != 2 {
+		t.Fatalf("second path = %v, want [0 2]", paths[1])
+	}
+}
+
+func TestPathSetExactForParallel(t *testing.T) {
+	// For a pure parallel system, the path-set formula is exact.
+	n := Parallel(NewBlock("a", 0.1), NewBlock("b", 0.2))
+	sys := SPSystem(n)
+	paths, err := sys.MinimalPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := PathSetFail(paths, sys.Fails)
+	if d := approx - n.FailProb(); d > 1e-12 || d < -1e-12 {
+		t.Fatalf("path-set %v != exact %v for a parallel system", approx, n.FailProb())
+	}
+}
+
+func TestPathAndCutBracketExactFailure(t *testing.T) {
+	// PathSetFail ≤ exact ≤ CutSetFail for random coherent systems.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := randomSP(r, 2+r.IntN(6))
+		sys := SPSystem(n)
+		exact, err := sys.ExactFail()
+		if err != nil {
+			return false
+		}
+		cuts, err := sys.MinimalCuts()
+		if err != nil {
+			return false
+		}
+		paths, err := sys.MinimalPaths()
+		if err != nil {
+			return false
+		}
+		lower := PathSetFail(paths, sys.Fails)
+		upper := CutSetFail(cuts, sys.Fails)
+		return lower <= exact+1e-9 && exact <= upper+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathsAndCutsAreDual(t *testing.T) {
+	// Every minimal path intersects every minimal cut (the defining
+	// duality of coherent systems).
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := randomSP(r, 2+r.IntN(6))
+		sys := SPSystem(n)
+		cuts, err := sys.MinimalCuts()
+		if err != nil {
+			return false
+		}
+		paths, err := sys.MinimalPaths()
+		if err != nil {
+			return false
+		}
+		for _, p := range paths {
+			pm := 0
+			for _, i := range p {
+				pm |= 1 << i
+			}
+			for _, c := range cuts {
+				cm := 0
+				for _, i := range c {
+					cm |= 1 << i
+				}
+				if pm&cm == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimalPathsTooBig(t *testing.T) {
+	sys := System{Fails: make([]float64, 25)}
+	if _, err := sys.MinimalPaths(); err == nil {
+		t.Fatal("MinimalPaths accepted 25 blocks")
+	}
+}

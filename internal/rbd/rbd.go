@@ -1,0 +1,141 @@
+// Package rbd implements Reliability Block Diagrams (§4). A RBD is
+// operational iff some source→destination path has every block
+// operational; blocks fail independently.
+//
+// Three representations are provided, mirroring the paper's discussion:
+//
+//   - SP trees (series-parallel diagrams), whose reliability is computed
+//     in linear time. The mapping-with-routing-operations of Fig. 5
+//     always yields an SP tree (Routed), which is exactly Eq. (9).
+//   - StageSystem, the *unrouted* diagram of Fig. 4 (full bipartite links
+//     between consecutive replica sets). Its reliability has no closed
+//     product form, but for chains it is computed exactly by a dynamic
+//     program over delivering replica subsets (polynomial in the number
+//     of stages, exponential only in the replication bound K ≤ 3-4).
+//   - System, a generic coherent system over independent blocks with
+//     exhaustive 2^B evaluation, minimal-cut enumeration, and the
+//     Esary–Proschan cut-set lower bound the paper cites [24]; used to
+//     cross-validate the other two and to quantify the cost of routing
+//     operations (the paper's future-work question).
+package rbd
+
+import (
+	"fmt"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/failure"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+)
+
+// Block is one element of the diagram: a computation or a communication
+// with its failure probability.
+type Block struct {
+	Name string
+	Fail float64
+}
+
+// Kind discriminates SP-tree nodes.
+type Kind int
+
+const (
+	// KindBlock is a leaf holding one Block.
+	KindBlock Kind = iota
+	// KindSeries composes children in series (all must work).
+	KindSeries
+	// KindParallel composes children in parallel (one must work).
+	KindParallel
+)
+
+// Node is a series-parallel RBD.
+type Node struct {
+	Kind     Kind
+	Block    Block
+	Children []*Node
+}
+
+// NewBlock returns a leaf node.
+func NewBlock(name string, fail float64) *Node {
+	return &Node{Kind: KindBlock, Block: Block{Name: name, Fail: fail}}
+}
+
+// Series composes nodes in series.
+func Series(children ...*Node) *Node {
+	return &Node{Kind: KindSeries, Children: children}
+}
+
+// Parallel composes nodes in parallel.
+func Parallel(children ...*Node) *Node {
+	return &Node{Kind: KindParallel, Children: children}
+}
+
+// FailProb evaluates the SP tree in linear time, carrying probabilities
+// in failure space (see internal/failure).
+func (n *Node) FailProb() float64 {
+	switch n.Kind {
+	case KindBlock:
+		return n.Block.Fail
+	case KindSeries:
+		logRel := 0.0
+		for _, c := range n.Children {
+			logRel += failure.LogRel(c.FailProb())
+		}
+		return failure.FromLogRel(logRel)
+	case KindParallel:
+		f := 1.0
+		for _, c := range n.Children {
+			f *= c.FailProb()
+		}
+		return f
+	default:
+		panic(fmt.Sprintf("rbd: unknown node kind %d", n.Kind))
+	}
+}
+
+// Blocks returns the leaves of the tree in depth-first order.
+func (n *Node) Blocks() []Block {
+	var out []Block
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x.Kind == KindBlock {
+			out = append(out, x.Block)
+			return
+		}
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Size returns the number of blocks.
+func (n *Node) Size() int { return len(n.Blocks()) }
+
+// Routed builds the serial-parallel RBD of a mapping with routing
+// operations inserted between intervals (Fig. 5): stage j is the parallel
+// composition, over its replicas, of (incoming comm → compute → outgoing
+// comm); stages are composed in series. Routing operations have
+// reliability 1 and are omitted. Evaluating the result reproduces Eq. (9)
+// exactly.
+func Routed(c chain.Chain, pl platform.Platform, m mapping.Mapping) *Node {
+	stages := make([]*Node, len(m.Parts))
+	for j := range m.Parts {
+		work := m.Parts.Work(c, j)
+		in := m.Parts.In(c, j)
+		out := m.Parts.Out(c, j)
+		replicas := make([]*Node, len(m.Procs[j]))
+		for i, u := range m.Procs[j] {
+			fIn := failure.Prob(pl.LinkFailRate, pl.CommTime(in))
+			fComp := failure.Prob(pl.Procs[u].FailRate, pl.ComputeTime(u, work))
+			fOut := failure.Prob(pl.LinkFailRate, pl.CommTime(out))
+			replicas[i] = Series(
+				NewBlock(fmt.Sprintf("in%d/P%d", j, u), fIn),
+				NewBlock(fmt.Sprintf("I%d/P%d", j, u), fComp),
+				NewBlock(fmt.Sprintf("out%d/P%d", j, u), fOut),
+			)
+		}
+		stages[j] = Parallel(replicas...)
+	}
+	return Series(stages...)
+}

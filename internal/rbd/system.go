@@ -1,0 +1,255 @@
+package rbd
+
+import (
+	"errors"
+	"sort"
+
+	"relpipe/internal/failure"
+)
+
+// System is a generic coherent system over independent blocks: Fails[i]
+// is block i's failure probability and Operational decides whether the
+// system works for a given up/down assignment of blocks. Evaluation is
+// exhaustive (2^B): Systems exist to validate the structured evaluators
+// and to enumerate cut sets on small instances, exactly the role the
+// paper assigns to generic RBD algorithms [24].
+type System struct {
+	Fails       []float64
+	Operational func(up []bool) bool
+}
+
+// errTooBig guards the exponential algorithms.
+var errTooBig = errors.New("rbd: system too large for exhaustive evaluation (max 24 blocks)")
+
+// ExactFail computes the exact failure probability by enumerating all
+// block states.
+func (s System) ExactFail() (float64, error) {
+	b := len(s.Fails)
+	if b > 24 {
+		return 0, errTooBig
+	}
+	up := make([]bool, b)
+	fail := 0.0
+	for mask := 0; mask < 1<<b; mask++ {
+		p := 1.0
+		for i := 0; i < b; i++ {
+			if mask&(1<<i) != 0 {
+				up[i] = true
+				p *= 1 - s.Fails[i]
+			} else {
+				up[i] = false
+				p *= s.Fails[i]
+			}
+			if p == 0 {
+				break
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		if !s.Operational(up) {
+			fail += p
+		}
+	}
+	return fail, nil
+}
+
+// MinimalCuts enumerates the minimal cut sets of the system: minimal sets
+// of blocks whose joint failure (with everything else working) brings the
+// system down. Exponential; the paper notes the number of minimal cuts is
+// itself exponential in general [24].
+func (s System) MinimalCuts() ([][]int, error) {
+	b := len(s.Fails)
+	if b > 24 {
+		return nil, errTooBig
+	}
+	up := make([]bool, b)
+	isCut := func(mask int) bool {
+		for i := 0; i < b; i++ {
+			up[i] = mask&(1<<i) == 0 // blocks in the mask are down
+		}
+		return !s.Operational(up)
+	}
+	var cuts []int
+	// Enumerate masks by increasing popcount so supersets of found cuts
+	// can be skipped cheaply.
+	masks := make([]int, 0, 1<<b)
+	for mask := 1; mask < 1<<b; mask++ {
+		masks = append(masks, mask)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		pi, pj := popcount(masks[i]), popcount(masks[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return masks[i] < masks[j]
+	})
+	for _, mask := range masks {
+		superset := false
+		for _, c := range cuts {
+			if mask&c == c {
+				superset = true
+				break
+			}
+		}
+		if superset {
+			continue
+		}
+		if isCut(mask) {
+			cuts = append(cuts, mask)
+		}
+	}
+	out := make([][]int, len(cuts))
+	for i, c := range cuts {
+		for j := 0; j < b; j++ {
+			if c&(1<<j) != 0 {
+				out[i] = append(out[i], j)
+			}
+		}
+	}
+	return out, nil
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// MinimalPaths enumerates the minimal path sets of the system: minimal
+// sets of blocks whose joint operation (with everything else failed)
+// keeps the system up. Dual to MinimalCuts; exponential, for small
+// instances.
+func (s System) MinimalPaths() ([][]int, error) {
+	b := len(s.Fails)
+	if b > 24 {
+		return nil, errTooBig
+	}
+	up := make([]bool, b)
+	isPath := func(mask int) bool {
+		for i := 0; i < b; i++ {
+			up[i] = mask&(1<<i) != 0 // only blocks in the mask are up
+		}
+		return s.Operational(up)
+	}
+	var paths []int
+	masks := make([]int, 0, 1<<b)
+	for mask := 1; mask < 1<<b; mask++ {
+		masks = append(masks, mask)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		pi, pj := popcount(masks[i]), popcount(masks[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return masks[i] < masks[j]
+	})
+	for _, mask := range masks {
+		superset := false
+		for _, p := range paths {
+			if mask&p == p {
+				superset = true
+				break
+			}
+		}
+		if superset {
+			continue
+		}
+		if isPath(mask) {
+			paths = append(paths, mask)
+		}
+	}
+	out := make([][]int, len(paths))
+	for i, p := range paths {
+		for j := 0; j < b; j++ {
+			if p&(1<<j) != 0 {
+				out[i] = append(out[i], j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PathSetFail computes the dual Esary–Proschan bound: all minimal path
+// sets in parallel, the blocks of each path in series (a path works iff
+// all its blocks work; the approximation fails iff every path fails).
+// For coherent systems with independent blocks this *under*-estimates
+// the failure probability, so together with CutSetFail it brackets the
+// exact value:
+//
+//	PathSetFail ≤ exact failure ≤ CutSetFail.
+func PathSetFail(paths [][]int, fails []float64) float64 {
+	f := 1.0
+	for _, path := range paths {
+		pathFails := make([]float64, len(path))
+		for k, i := range path {
+			pathFails[k] = fails[i]
+		}
+		f *= failure.Serial(pathFails...)
+	}
+	return f
+}
+
+// CutSetFail computes the paper's serial-parallel cut-set approximation:
+// all minimal cut sets in series, the blocks of each cut in parallel.
+// By the Esary–Proschan inequality this over-estimates the failure
+// probability (under-estimates reliability) for coherent systems with
+// independent blocks.
+func CutSetFail(cuts [][]int, fails []float64) float64 {
+	logRel := 0.0
+	for _, cut := range cuts {
+		f := 1.0
+		for _, i := range cut {
+			f *= fails[i]
+		}
+		logRel += failure.LogRel(f)
+	}
+	return failure.FromLogRel(logRel)
+}
+
+// SPSystem converts an SP tree into a generic System (for validating the
+// linear evaluator against exhaustive enumeration).
+func SPSystem(n *Node) System {
+	blocks := n.Blocks()
+	fails := make([]float64, len(blocks))
+	for i, b := range blocks {
+		fails[i] = b.Fail
+	}
+	return System{
+		Fails: fails,
+		Operational: func(up []bool) bool {
+			idx := 0
+			var eval func(x *Node) bool
+			eval = func(x *Node) bool {
+				switch x.Kind {
+				case KindBlock:
+					ok := up[idx]
+					idx++
+					return ok
+				case KindSeries:
+					ok := true
+					for _, c := range x.Children {
+						// Evaluate every child so idx advances
+						// deterministically.
+						if !eval(c) {
+							ok = false
+						}
+					}
+					return ok
+				default: // KindParallel
+					ok := false
+					for _, c := range x.Children {
+						if eval(c) {
+							ok = true
+						}
+					}
+					return ok
+				}
+			}
+			return eval(n)
+		},
+	}
+}

@@ -1,0 +1,251 @@
+// Package reduction implements the NP-completeness gadgets of the
+// paper's hardness proofs as executable constructions:
+//
+//   - FromTwoPartition builds the §5.3 (Theorem 3) instance showing that
+//     (reliability | latency) optimization on homogeneous platforms
+//     encodes 2-PARTITION;
+//   - FromThreePartition builds the §6 (Theorem 5) instance showing that
+//     mono-criterion reliability optimization on heterogeneous platforms
+//     encodes 3-PARTITION.
+//
+// Beyond documentation value, the gadgets are verified end to end in the
+// tests: on small inputs, the exact solvers find a mapping meeting the
+// gadget's reliability threshold exactly when the source partition
+// problem is solvable. This exercises the solvers in the adversarial
+// corner of the instance space (astronomically small failure rates,
+// reliability gaps of order λ², λ³) where the failure-space arithmetic
+// of internal/failure is indispensable.
+package reduction
+
+import (
+	"errors"
+	"math"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/failure"
+	"relpipe/internal/platform"
+)
+
+// TwoPartitionGadget is the §5.3 construction: a chain of 3n+1 tasks on
+// 6n identical processors with K = 2, plus a latency bound and a
+// reliability threshold. A mapping with latency ≤ Latency and
+// log-reliability ≥ MinLogRel exists iff the source numbers split into
+// two halves of equal sum.
+type TwoPartitionGadget struct {
+	Chain    chain.Chain
+	Platform platform.Platform
+	// Latency is the bound L = (n+1)B + n/2 + 3T.
+	Latency float64
+	// MinLogRel is log r for the paper's reliability threshold r.
+	MinLogRel float64
+	// B is the size of the separator tasks; Lambda the failure rate.
+	B, Lambda float64
+}
+
+// FromTwoPartition builds the gadget for the given positive integers.
+// It returns an error on fewer than two numbers or non-positive values
+// (2-PARTITION is trivial or undefined there).
+func FromTwoPartition(as []float64) (TwoPartitionGadget, error) {
+	n := len(as)
+	if n < 2 {
+		return TwoPartitionGadget{}, errors.New("reduction: need at least two numbers")
+	}
+	sum := 0.0
+	aMin, aMax := math.Inf(1), math.Inf(-1)
+	for _, a := range as {
+		if a <= 0 {
+			return TwoPartitionGadget{}, errors.New("reduction: numbers must be positive")
+		}
+		sum += a
+		aMin = math.Min(aMin, a)
+		aMax = math.Max(aMax, a)
+	}
+	T := sum / 2
+	nf := float64(n)
+	// λ = 1e-8 · 10^{-n} · a_max^{-3n}: small enough that all the proof's
+	// Taylor bounds hold with huge slack.
+	lambda := 1e-8 * math.Pow(10, -nf) * math.Pow(aMax, -3*nf)
+	// B = (n/4 + n·a_max² + T + 2) / (2·a_min).
+	B := (nf/4 + nf*aMax*aMax + T + 2) / (2 * aMin)
+
+	// Chain: for i = 1..n the triple (B, 1/2, a_i) with the only
+	// non-zero output o_{3i-1} = a_i, then a final B task.
+	c := make(chain.Chain, 0, 3*n+1)
+	for _, a := range as {
+		c = append(c,
+			chain.Task{Work: B, Out: 0},
+			chain.Task{Work: 0.5, Out: a},
+			chain.Task{Work: a, Out: 0},
+		)
+	}
+	c = append(c, chain.Task{Work: B, Out: 0})
+
+	pl := platform.Homogeneous(6*n, 1, lambda, 1, 0, 2)
+
+	// Threshold r = (1-(1-e^{-λB})²)^{n+1} ×
+	//               (1 - λ²(n/4 + Σa² + T) - λ⁴·2^{2n}(a_max+1)^n),
+	// carried in log space.
+	sumSq := 0.0
+	for _, a := range as {
+		sumSq += a * a
+	}
+	fB := failure.Prob(lambda, B)
+	logSep := failure.LogRel(fB * fB) // one replicated-B stage
+	slack := lambda*lambda*(nf/4+sumSq+T) +
+		math.Pow(lambda, 4)*math.Pow(2, 2*nf)*math.Pow(aMax+1, nf)
+	minLogRel := (nf+1)*logSep + failure.LogRel(slack)
+
+	// The yes-instance mapping hits the latency bound exactly; a 1e-6
+	// slack absorbs floating-point summation noise without admitting
+	// any extra integral communication pattern (the next achievable
+	// latency is at least min_i a_i ≥ 1 higher for integer inputs).
+	return TwoPartitionGadget{
+		Chain:     c,
+		Platform:  pl,
+		Latency:   (nf+1)*B + nf/2 + 3*T + 1e-6,
+		MinLogRel: minLogRel,
+		B:         B,
+		Lambda:    lambda,
+	}, nil
+}
+
+// ThreePartitionGadget is the §6 construction: n unit-work tasks on 3n
+// heterogeneous processors whose failure rates encode the source numbers
+// (λ_u = λ·γ^{a_u}), with K = 3. A mapping with log-reliability ≥
+// MinLogRel exists iff the numbers split into n triples of equal sum.
+type ThreePartitionGadget struct {
+	Chain    chain.Chain
+	Platform platform.Platform
+	// MinLogRel is log r for r = (1 - λ³γ^T)^n.
+	MinLogRel float64
+	// Lambda and Gamma are the construction parameters.
+	Lambda, Gamma float64
+}
+
+// FromThreePartition builds the gadget for 3n positive integers whose
+// sum is n·T for some integer T (the 3-PARTITION promise).
+func FromThreePartition(as []float64) (ThreePartitionGadget, error) {
+	if len(as)%3 != 0 || len(as) == 0 {
+		return ThreePartitionGadget{}, errors.New("reduction: need 3n numbers")
+	}
+	n := len(as) / 3
+	sum := 0.0
+	for _, a := range as {
+		if a <= 0 {
+			return ThreePartitionGadget{}, errors.New("reduction: numbers must be positive")
+		}
+		sum += a
+	}
+	T := sum / float64(n)
+	if T <= 1 {
+		return ThreePartitionGadget{}, errors.New("reduction: triple target T must exceed 1")
+	}
+	lambda := 1e-8 / (float64(n) * T * T)
+	gamma := 1 + 1/(2*(T-1))
+
+	// n tasks of work 1/n each, no communications.
+	c := make(chain.Chain, n)
+	for i := range c {
+		c[i] = chain.Task{Work: 1 / float64(n)}
+	}
+
+	procs := make([]platform.Processor, len(as))
+	for u, a := range as {
+		procs[u] = platform.Processor{Speed: 1, FailRate: lambda * math.Pow(gamma, a)}
+	}
+	pl := platform.Platform{
+		Procs:        procs,
+		Bandwidth:    1,
+		LinkFailRate: 0,
+		MaxReplicas:  3,
+	}
+
+	// r = (1 - λ³γ^T)^n in log space. Note the per-task failure rates
+	// are λγ^{a}·(1/n) per execution of work 1/n at speed 1 — the
+	// paper's w_i = 1/n keeps every product of three replica failures
+	// at (λ/ n... ) — we keep the paper's exact threshold with the
+	// task duration folded in.
+	per := math.Pow(lambda/float64(n), 3) * math.Pow(gamma, T)
+	minLogRel := float64(n) * failure.LogRel(per)
+
+	return ThreePartitionGadget{
+		Chain:     c,
+		Platform:  pl,
+		MinLogRel: minLogRel,
+		Lambda:    lambda,
+		Gamma:     gamma,
+	}, nil
+}
+
+// TwoPartitionExists brute-forces the source 2-PARTITION problem
+// (exponential; for validating gadgets on small inputs).
+func TwoPartitionExists(as []float64) bool {
+	n := len(as)
+	sum := 0.0
+	for _, a := range as {
+		sum += a
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s += as[i]
+			}
+		}
+		if s == sum/2 {
+			return true
+		}
+	}
+	return false
+}
+
+// ThreePartitionExists brute-forces the source 3-PARTITION problem
+// (exponential; for validating gadgets on small inputs).
+func ThreePartitionExists(as []float64) bool {
+	if len(as)%3 != 0 || len(as) == 0 {
+		return false
+	}
+	n := len(as) / 3
+	sum := 0.0
+	for _, a := range as {
+		sum += a
+	}
+	target := sum / float64(n)
+	used := make([]bool, len(as))
+	var rec func(groups int) bool
+	rec = func(groups int) bool {
+		if groups == n {
+			return true
+		}
+		// First unused element anchors the next triple (canonical order
+		// avoids re-examining permutations).
+		first := -1
+		for i, u := range used {
+			if !u {
+				first = i
+				break
+			}
+		}
+		used[first] = true
+		for j := first + 1; j < len(as); j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			for k := j + 1; k < len(as); k++ {
+				if used[k] || as[first]+as[j]+as[k] != target {
+					continue
+				}
+				used[k] = true
+				if rec(groups + 1) {
+					return true
+				}
+				used[k] = false
+			}
+			used[j] = false
+		}
+		used[first] = false
+		return false
+	}
+	return rec(0)
+}

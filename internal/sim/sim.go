@@ -1,0 +1,345 @@
+// Package sim simulates the pipelined execution of an interval mapping on
+// the distributed platform, with optional Poisson transient-failure
+// injection. It serves two purposes the paper's analytic evaluation
+// cannot: (a) Monte-Carlo validation of the closed forms — success rates
+// converge to Eq. (9), failure-free timings to Eqs. (5)/(6) — and (b)
+// inspection of transient behaviour (queueing, pipeline fill) that the
+// steady-state formulas abstract away.
+//
+// Execution model (§2.2): computations overlap with communications (each
+// processor has a communication co-processor); a point-to-point link
+// carries one message at a time, so consecutive data sets serialize on
+// links exactly as they do on processors; data sets enter the system
+// every Period time units; each boundary communication is mediated by the
+// routing operation of §4.
+//
+// Two routing modes mirror the paper's accounting (see DESIGN.md):
+//
+//   - OneHop charges each boundary a single o/b hop, matching the latency
+//     and period formulas (Eqs. 5–8).
+//   - TwoHop charges replica→router and router→replica hops and samples
+//     link failures on both, matching the reliability formula (Eq. 9).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/des"
+	"relpipe/internal/failure"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+	"relpipe/internal/rng"
+)
+
+// RoutingMode selects how boundary communications are charged.
+type RoutingMode int
+
+const (
+	// OneHop charges one o/b hop per boundary with one link-failure
+	// sample (sender side), matching Eqs. (5)–(8).
+	OneHop RoutingMode = iota
+	// TwoHop charges replica→router and router→replica hops with
+	// independent failure samples, matching Eq. (9).
+	TwoHop
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Chain    chain.Chain
+	Platform platform.Platform
+	Mapping  mapping.Mapping
+	// Period is the data-set injection period. It must be positive;
+	// sustained operation requires Period ≥ the mapping's worst-case
+	// period, but the simulator happily shows the queue growth if not.
+	Period float64
+	// DataSets is the number of data sets to push through.
+	DataSets int
+	// Seed drives all failure sampling; equal seeds give identical runs.
+	Seed uint64
+	// InjectFailures enables transient-failure sampling. When false the
+	// run is deterministic and every data set succeeds.
+	InjectFailures bool
+	// Routing selects the boundary accounting (default OneHop).
+	Routing RoutingMode
+	// WarmUp data sets are excluded from the steady-state period
+	// estimate (but still counted for success/latency).
+	WarmUp int
+	// Trace, when non-nil, records every compute/send/forward operation
+	// for Gantt rendering and utilization analysis.
+	Trace *Trace
+}
+
+// Result aggregates a run.
+type Result struct {
+	DataSets    int
+	Successes   int
+	Latencies   []float64 // per successful data set, in injection order
+	Completions []float64 // completion times of successful data sets
+	// SteadyPeriod is the mean inter-completion time after warm-up
+	// (NaN with fewer than two post-warm-up completions).
+	SteadyPeriod float64
+}
+
+// SuccessRate returns the fraction of data sets fully processed.
+func (r Result) SuccessRate() float64 {
+	if r.DataSets == 0 {
+		return math.NaN()
+	}
+	return float64(r.Successes) / float64(r.DataSets)
+}
+
+// FailureRate returns 1 - SuccessRate.
+func (r Result) FailureRate() float64 { return 1 - r.SuccessRate() }
+
+// MeanLatency returns the mean latency of successful data sets.
+func (r Result) MeanLatency() float64 {
+	if len(r.Latencies) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, l := range r.Latencies {
+		s += l
+	}
+	return s / float64(len(r.Latencies))
+}
+
+// MaxLatency returns the largest observed latency.
+func (r Result) MaxLatency() float64 {
+	m := math.NaN()
+	for i, l := range r.Latencies {
+		if i == 0 || l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// linkKey identifies a serializing point-to-point channel.
+type linkKey struct {
+	boundary int // index of the interval whose output crosses the link
+	src      int // sending replica index (-1 for the router side)
+	dst      int // receiving replica index (-1 for the router side)
+}
+
+type runner struct {
+	cfg      Config
+	eng      *des.Engine
+	rnd      *rng.Rand
+	procFree map[int]float64
+	linkFree map[linkKey]float64
+
+	routerDone []map[int]bool // per boundary, data sets already forwarded
+	done       []bool
+	completion []float64
+
+	compFail [][]float64 // [stage][replica] failure probability
+	commFail []float64   // per boundary, per-hop failure probability
+	commTime []float64   // per boundary, per-hop duration
+	compTime [][]float64 // [stage][replica] compute duration
+}
+
+// Run executes the simulation and returns its result.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Chain.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Mapping.Validate(cfg.Chain, cfg.Platform); err != nil {
+		return Result{}, err
+	}
+	if cfg.Period <= 0 {
+		return Result{}, errors.New("sim: Period must be positive")
+	}
+	if cfg.DataSets <= 0 {
+		return Result{}, errors.New("sim: DataSets must be positive")
+	}
+	if cfg.WarmUp < 0 || cfg.WarmUp >= cfg.DataSets {
+		cfg.WarmUp = 0
+	}
+
+	r := &runner{
+		cfg:      cfg,
+		eng:      des.New(),
+		rnd:      rng.New(cfg.Seed),
+		procFree: make(map[int]float64),
+		linkFree: make(map[linkKey]float64),
+		done:     make([]bool, cfg.DataSets),
+	}
+	m := cfg.Mapping
+	nStages := len(m.Parts)
+	r.completion = make([]float64, cfg.DataSets)
+	r.routerDone = make([]map[int]bool, nStages) // boundary j = output of stage j
+	for j := range r.routerDone {
+		r.routerDone[j] = make(map[int]bool)
+	}
+	r.compFail = make([][]float64, nStages)
+	r.compTime = make([][]float64, nStages)
+	r.commFail = make([]float64, nStages)
+	r.commTime = make([]float64, nStages)
+	for j := 0; j < nStages; j++ {
+		w := m.Parts.Work(cfg.Chain, j)
+		out := m.Parts.Out(cfg.Chain, j)
+		r.commTime[j] = cfg.Platform.CommTime(out)
+		r.commFail[j] = failure.Prob(cfg.Platform.LinkFailRate, r.commTime[j])
+		r.compFail[j] = make([]float64, len(m.Procs[j]))
+		r.compTime[j] = make([]float64, len(m.Procs[j]))
+		for i, u := range m.Procs[j] {
+			r.compTime[j][i] = cfg.Platform.ComputeTime(u, w)
+			r.compFail[j][i] = failure.Prob(cfg.Platform.Procs[u].FailRate, r.compTime[j][i])
+		}
+	}
+
+	// Inject data sets at k·Period into every replica of stage 0.
+	for d := 0; d < cfg.DataSets; d++ {
+		d := d
+		r.eng.At(float64(d)*cfg.Period, func() {
+			for i := range m.Procs[0] {
+				r.startCompute(0, i, d)
+			}
+		})
+	}
+	r.eng.Run()
+
+	res := Result{DataSets: cfg.DataSets}
+	var prev float64
+	var interAcc, interN float64
+	seen := 0
+	for d := 0; d < cfg.DataSets; d++ {
+		if !r.done[d] {
+			continue
+		}
+		res.Successes++
+		res.Latencies = append(res.Latencies, r.completion[d]-float64(d)*cfg.Period)
+		res.Completions = append(res.Completions, r.completion[d])
+		if d >= cfg.WarmUp {
+			if seen > 0 {
+				interAcc += r.completion[d] - prev
+				interN++
+			}
+			prev = r.completion[d]
+			seen++
+		}
+	}
+	if interN > 0 {
+		res.SteadyPeriod = interAcc / interN
+	} else {
+		res.SteadyPeriod = math.NaN()
+	}
+	return res, nil
+}
+
+// fails samples one transient failure of probability p (always false when
+// injection is disabled).
+func (r *runner) fails(p float64) bool {
+	return r.cfg.InjectFailures && r.rnd.Bernoulli(p)
+}
+
+// startCompute queues data set d on replica i of stage j.
+func (r *runner) startCompute(j, i, d int) {
+	u := r.cfg.Mapping.Procs[j][i]
+	start := math.Max(r.eng.Now(), r.procFree[u])
+	finish := start + r.compTime[j][i]
+	r.procFree[u] = finish
+	r.eng.At(finish, func() {
+		failed := r.fails(r.compFail[j][i])
+		r.cfg.Trace.add(Op{
+			Kind: OpCompute, Stage: j, Replica: i, Proc: u,
+			DataSet: d, Start: start, End: finish, Failed: failed,
+		})
+		if failed {
+			return // the result of this data set is lost on this replica
+		}
+		r.emit(j, i, d)
+	})
+}
+
+// emit handles a successful computation of data set d by replica i of
+// stage j: completion at the last stage, or transmission of the interval
+// output towards stage j+1.
+func (r *runner) emit(j, i, d int) {
+	nStages := len(r.cfg.Mapping.Parts)
+	if j == nStages-1 {
+		if !r.done[d] {
+			r.done[d] = true
+			r.completion[d] = r.eng.Now()
+		}
+		return
+	}
+	// Send towards the boundary-j router on this replica's own channel.
+	k := linkKey{boundary: j, src: i, dst: -1}
+	start := math.Max(r.eng.Now(), r.linkFree[k])
+	arrive := start + r.commTime[j]
+	r.linkFree[k] = arrive
+	r.eng.At(arrive, func() {
+		failed := r.fails(r.commFail[j])
+		r.cfg.Trace.add(Op{
+			Kind: OpSend, Stage: j, Replica: i, Proc: -1,
+			DataSet: d, Start: start, End: arrive, Failed: failed,
+		})
+		if failed {
+			return // the message was corrupted in transit
+		}
+		r.routerForward(j, d)
+	})
+}
+
+// routerForward delivers data set d across boundary j the first time a
+// replica result reaches the router; later arrivals are ignored.
+func (r *runner) routerForward(j, d int) {
+	if r.routerDone[j][d] {
+		return
+	}
+	r.routerDone[j][d] = true
+	next := j + 1
+	for i := range r.cfg.Mapping.Procs[next] {
+		i := i
+		switch r.cfg.Routing {
+		case OneHop:
+			// The boundary was already charged on the sender side;
+			// delivery is immediate.
+			r.startCompute(next, i, d)
+		case TwoHop:
+			k := linkKey{boundary: j, src: -1, dst: i}
+			start := math.Max(r.eng.Now(), r.linkFree[k])
+			arrive := start + r.commTime[j]
+			r.linkFree[k] = arrive
+			r.eng.At(arrive, func() {
+				failed := r.fails(r.commFail[j])
+				r.cfg.Trace.add(Op{
+					Kind: OpForward, Stage: j, Replica: i, Proc: -1,
+					DataSet: d, Start: start, End: arrive, Failed: failed,
+				})
+				if failed {
+					return
+				}
+				r.startCompute(next, i, d)
+			})
+		default:
+			panic(fmt.Sprintf("sim: unknown routing mode %d", r.cfg.Routing))
+		}
+	}
+}
+
+// AnalyticFailProbOneHop returns the per-data-set failure probability the
+// OneHop simulator converges to: like Eq. (9) but with a single
+// communication factor per boundary (sender side only).
+func AnalyticFailProbOneHop(c chain.Chain, pl platform.Platform, m mapping.Mapping) float64 {
+	logRel := 0.0
+	for j := range m.Parts {
+		w := m.Parts.Work(c, j)
+		out := m.Parts.Out(c, j)
+		fOut := failure.Prob(pl.LinkFailRate, pl.CommTime(out))
+		stage := 1.0
+		for _, u := range m.Procs[j] {
+			fComp := failure.Prob(pl.Procs[u].FailRate, pl.ComputeTime(u, w))
+			stage *= failure.Serial(fComp, fOut)
+		}
+		logRel += failure.LogRel(stage)
+	}
+	return failure.FromLogRel(logRel)
+}

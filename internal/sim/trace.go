@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpKind classifies traced operations.
+type OpKind int
+
+const (
+	// OpCompute is one replica computing one data set.
+	OpCompute OpKind = iota
+	// OpSend is a replica shipping an interval output towards the
+	// boundary router.
+	OpSend
+	// OpForward is the router delivering to a downstream replica
+	// (TwoHop mode only).
+	OpForward
+)
+
+// Op is one traced operation.
+type Op struct {
+	Kind    OpKind
+	Stage   int // interval index (for sends/forwards: the boundary = source stage)
+	Replica int // replica index within the stage (dst replica for forwards)
+	Proc    int // processor (compute ops only; -1 otherwise)
+	DataSet int
+	Start   float64
+	End     float64
+	Failed  bool
+}
+
+// Trace collects operations of a simulation run when attached to
+// Config.Trace. The zero value is ready to use.
+type Trace struct {
+	Ops []Op
+}
+
+func (t *Trace) add(op Op) {
+	if t == nil {
+		return
+	}
+	t.Ops = append(t.Ops, op)
+}
+
+// ComputeOps returns the compute operations sorted by start time.
+func (t *Trace) ComputeOps() []Op {
+	var out []Op
+	for _, op := range t.Ops {
+		if op.Kind == OpCompute {
+			out = append(out, op)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// Utilization returns, per processor, the fraction of [from, to] spent
+// computing.
+func (t *Trace) Utilization(from, to float64) map[int]float64 {
+	busy := map[int]float64{}
+	for _, op := range t.Ops {
+		if op.Kind != OpCompute {
+			continue
+		}
+		lo, hi := op.Start, op.End
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			busy[op.Proc] += hi - lo
+		}
+	}
+	for p := range busy {
+		busy[p] /= to - from
+	}
+	return busy
+}
+
+// Gantt renders the compute operations of [from, to] as one text row per
+// processor. Each cell is the data-set index modulo 10; failed
+// computations render as 'X', idle time as '.'.
+func (t *Trace) Gantt(from, to float64, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if to <= from {
+		return "(empty time window)\n"
+	}
+	procs := map[int][]Op{}
+	var ids []int
+	for _, op := range t.Ops {
+		if op.Kind != OpCompute || op.End <= from || op.Start >= to {
+			continue
+		}
+		if _, seen := procs[op.Proc]; !seen {
+			ids = append(ids, op.Proc)
+		}
+		procs[op.Proc] = append(procs[op.Proc], op)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, "time %.4g .. %.4g (one column = %.4g)\n", from, to, (to-from)/float64(width))
+	for _, id := range ids {
+		row := []byte(strings.Repeat(".", width))
+		for _, op := range procs[id] {
+			lo := int(float64(width) * (op.Start - from) / (to - from))
+			hi := int(float64(width) * (op.End - from) / (to - from))
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= width {
+				hi = width - 1
+			}
+			ch := byte('0' + op.DataSet%10)
+			if op.Failed {
+				ch = 'X'
+			}
+			for x := lo; x <= hi; x++ {
+				row[x] = ch
+			}
+		}
+		fmt.Fprintf(&b, "P%-3d |%s|\n", id, string(row))
+	}
+	return b.String()
+}

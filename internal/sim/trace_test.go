@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+)
+
+func TestTraceRecordsComputeOps(t *testing.T) {
+	c, pl, m := pipeline3()
+	tr := &Trace{}
+	_, err := Run(Config{
+		Chain: c, Platform: pl, Mapping: m,
+		Period: 12, DataSets: 4, Routing: OneHop, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := tr.ComputeOps()
+	// 3 stages × 4 data sets, single replica each.
+	if len(ops) != 12 {
+		t.Fatalf("compute ops = %d, want 12", len(ops))
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i].Start < ops[i-1].Start {
+			t.Fatal("ComputeOps not sorted by start")
+		}
+	}
+	for _, op := range ops {
+		if op.Failed {
+			t.Fatal("failure recorded in a failure-free run")
+		}
+		if op.End <= op.Start {
+			t.Fatalf("empty op window %+v", op)
+		}
+	}
+}
+
+func TestTraceRecordsSendAndForward(t *testing.T) {
+	c, pl, m := mcSetup()
+	tr := &Trace{}
+	_, err := Run(Config{
+		Chain: c, Platform: pl, Mapping: m,
+		Period: 20, DataSets: 50, Seed: 3, InjectFailures: true,
+		Routing: TwoHop, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sends, forwards, failures int
+	for _, op := range tr.Ops {
+		switch op.Kind {
+		case OpSend:
+			sends++
+		case OpForward:
+			forwards++
+		}
+		if op.Failed {
+			failures++
+		}
+	}
+	if sends == 0 || forwards == 0 {
+		t.Fatalf("sends=%d forwards=%d, want both > 0 in TwoHop", sends, forwards)
+	}
+	if failures == 0 {
+		t.Fatal("no failures recorded despite injection on a lossy platform")
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.add(Op{}) // must not panic
+	c, pl, m := pipeline3()
+	if _, err := Run(Config{Chain: c, Platform: pl, Mapping: m, Period: 12, DataSets: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationMatchesSchedule(t *testing.T) {
+	c, pl, m := pipeline3()
+	tr := &Trace{}
+	_, err := Run(Config{
+		Chain: c, Platform: pl, Mapping: m,
+		Period: 20, DataSets: 10, Routing: OneHop, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady window [40, 160]: P0 computes 10 of every 20 time units.
+	u := tr.Utilization(40, 160)
+	if math.Abs(u[0]-0.5) > 0.02 {
+		t.Fatalf("util P0 = %v, want ~0.5", u[0])
+	}
+	if math.Abs(u[2]-0.4) > 0.02 {
+		t.Fatalf("util P2 = %v, want ~0.4", u[2])
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	c, pl, m := pipeline3()
+	tr := &Trace{}
+	_, err := Run(Config{
+		Chain: c, Platform: pl, Mapping: m,
+		Period: 12, DataSets: 3, Routing: OneHop, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tr.Gantt(0, 60, 60)
+	for _, want := range []string{"P0", "P1", "P2", "0", "1", "2"} {
+		if !strings.Contains(g, want) {
+			t.Fatalf("Gantt missing %q:\n%s", want, g)
+		}
+	}
+	if tr.Gantt(5, 5, 10) != "(empty time window)\n" {
+		t.Fatal("degenerate window not handled")
+	}
+}
+
+func TestGanttShowsFailures(t *testing.T) {
+	c := chain.Chain{{Work: 10, Out: 0}}
+	pl := platform.Homogeneous(1, 1, 0.1, 1, 0, 1)
+	m := mapping.Mapping{Parts: interval.Single(1), Procs: [][]int{{0}}}
+	tr := &Trace{}
+	_, err := Run(Config{
+		Chain: c, Platform: pl, Mapping: m,
+		Period: 10, DataSets: 50, Seed: 9, InjectFailures: true, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tr.Gantt(0, 500, 100)
+	if !strings.Contains(g, "X") {
+		t.Fatalf("Gantt shows no failed ops on a lossy run:\n%s", g)
+	}
+}

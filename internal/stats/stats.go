@@ -1,0 +1,211 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: online (Welford) accumulators, quantiles, geometric means and
+// fixed-width histograms. Everything is dependency-free and deterministic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Acc is an online accumulator of count, mean and variance using
+// Welford's algorithm, plus min/max. The zero value is ready to use.
+type Acc struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds x into the accumulator.
+func (a *Acc) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples.
+func (a *Acc) N() int { return a.n }
+
+// Mean returns the sample mean, or NaN if empty.
+func (a *Acc) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.mean
+}
+
+// Var returns the unbiased sample variance, or NaN if fewer than 2 samples.
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return math.NaN()
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (a *Acc) StdDev() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest sample, or NaN if empty.
+func (a *Acc) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max returns the largest sample, or NaN if empty.
+func (a *Acc) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// StdErr returns the standard error of the mean.
+func (a *Acc) StdErr() float64 {
+	if a.n < 2 {
+		return math.NaN()
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Mean returns the arithmetic mean of xs, or NaN if empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (all must be > 0),
+// computed in log space to avoid overflow/underflow.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+// It returns NaN on empty input and does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Summary holds the usual five-number summary plus mean and count.
+type Summary struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Q1, Med, Q3 float64
+	Max              float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	var a Acc
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return Summary{
+		N:      a.N(),
+		Mean:   a.Mean(),
+		StdDev: a.StdDev(),
+		Min:    a.Min(),
+		Q1:     Quantile(xs, 0.25),
+		Med:    Median(xs),
+		Q3:     Quantile(xs, 0.75),
+		Max:    a.Max(),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g q1=%.6g med=%.6g q3=%.6g max=%.6g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Q1, s.Med, s.Q3, s.Max)
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi). Values outside the
+// range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi      float64
+	Counts      []int
+	Under, Over int
+	n           int
+}
+
+// NewHistogram creates a histogram with the given number of bins.
+// It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add counts x into its bin.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // x == Hi after rounding
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// N returns the total number of values added (including out-of-range).
+func (h *Histogram) N() int { return h.n }
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relpipe/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestAccEmpty(t *testing.T) {
+	var a Acc
+	if a.N() != 0 {
+		t.Fatal("empty Acc has nonzero N")
+	}
+	for _, v := range []float64{a.Mean(), a.Var(), a.Min(), a.Max()} {
+		if !math.IsNaN(v) {
+			t.Fatalf("empty Acc stat = %v, want NaN", v)
+		}
+	}
+}
+
+func TestAccKnownValues(t *testing.T) {
+	var a Acc
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almostEq(a.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if !almostEq(a.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Var = %v, want %v", a.Var(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccMatchesDirectComputation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.IntN(100)
+		xs := make([]float64, n)
+		var a Acc
+		for i := range xs {
+			xs[i] = r.Uniform(-100, 100)
+			a.Add(xs[i])
+		}
+		mean := Mean(xs)
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(n - 1)
+		return almostEq(a.Mean(), mean, 1e-9) && almostEq(a.Var(), v, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if !almostEq(Mean([]float64{1, 2, 3, 4}), 2.5, 1e-15) {
+		t.Fatal("Mean([1..4]) != 2.5")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) != NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almostEq(GeoMean([]float64{1, 4}), 2, 1e-12) {
+		t.Fatal("GeoMean([1,4]) != 2")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("GeoMean with negative did not return NaN")
+	}
+	// Underflow safety: tiny probabilities.
+	g := GeoMean([]float64{1e-300, 1e-300, 1e-300})
+	if !almostEq(g, 1e-300, 1e-9) {
+		t.Fatalf("GeoMean tiny = %v", g)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, -0.1)) {
+		t.Fatal("Quantile invalid inputs did not return NaN")
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	if Quantile([]float64{7}, 0.9) != 7 {
+		t.Fatal("Quantile of singleton != the element")
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	if Median([]float64{5, 1, 9}) != 5 {
+		t.Fatal("Median([5,1,9]) != 5")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.IntN(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Uniform(-10, 10)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			qq := math.Min(q, 1)
+			v := Quantile(xs, qq)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Med != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("Summary.String empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("Under/Over = %d/%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Fatalf("bin 1 = %d", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Fatalf("bin 4 = %d", h.Counts[4])
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if !almostEq(h.BinCenter(0), 1, 1e-15) || !almostEq(h.BinCenter(4), 9, 1e-15) {
+		t.Fatalf("BinCenter = %v, %v", h.BinCenter(0), h.BinCenter(4))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(1,0,3) did not panic")
+		}
+	}()
+	NewHistogram(1, 0, 3)
+}
+
+func TestHistogramTotalConserved(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := NewHistogram(-5, 5, 7)
+		n := r.IntN(500)
+		for i := 0; i < n; i++ {
+			h.Add(r.Uniform(-10, 10))
+		}
+		total := h.Under + h.Over
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == n && h.N() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

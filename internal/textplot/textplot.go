@@ -1,0 +1,141 @@
+// Package textplot renders multi-series line charts as ASCII text, the
+// offline stand-in for the paper's gnuplot figures. Series are drawn with
+// distinct markers on a shared grid with linear or logarithmic y scaling
+// (the failure-probability figures span 1e-12…1e-3 and need the log
+// scale).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Options controls the rendering.
+type Options struct {
+	Width, Height int // plot area in characters (default 72×20)
+	Title         string
+	XLabel        string
+	YLabel        string
+	YLog          bool // log10 y axis; non-positive points are skipped
+}
+
+var markers = []byte{'o', 'x', '+', '*', '#', '@'}
+
+// Render draws the chart. It never fails: empty or degenerate inputs
+// yield a chart with an informative body.
+func Render(series []Series, opts Options) string {
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	// Collect finite points, applying the log transform.
+	type pt struct{ x, y float64 }
+	pts := make([][]pt, len(series))
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for si, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if opts.YLog {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			pts[si] = append(pts[si], pt{x, y})
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	empty := math.IsInf(xmin, 1)
+	if empty {
+		b.WriteString("(no finite data points)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, ps := range pts {
+		mk := markers[si%len(markers)]
+		for _, p := range ps {
+			col := int((p.x - xmin) / (xmax - xmin) * float64(w-1))
+			row := int((p.y - ymin) / (ymax - ymin) * float64(h-1))
+			row = h - 1 - row
+			if grid[row][col] != ' ' && grid[row][col] != mk {
+				grid[row][col] = '?' // collision between series
+			} else {
+				grid[row][col] = mk
+			}
+		}
+	}
+
+	fmtTick := func(v float64) string {
+		if opts.YLog {
+			return fmt.Sprintf("1e%+.1f", v)
+		}
+		return fmt.Sprintf("%.4g", v)
+	}
+	yTop, yBot := fmtTick(ymax), fmtTick(ymin)
+	lw := len(yTop)
+	if len(yBot) > lw {
+		lw = len(yBot)
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opts.YLabel)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", lw)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", lw, yTop)
+		} else if r == h-1 {
+			label = fmt.Sprintf("%*s", lw, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", lw), strings.Repeat("-", w))
+	lo := fmt.Sprintf("%.4g", xmin)
+	hi := fmt.Sprintf("%.4g", xmax)
+	pad := w - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", lw), lo, strings.Repeat(" ", pad), hi)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "%s  [%s]\n", strings.Repeat(" ", lw), opts.XLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	s := []Series{{Label: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}}
+	out := Render(s, Options{Title: "t", XLabel: "x", YLabel: "y", Width: 40, Height: 10})
+	for _, want := range []string{"t\n", "[x]", "y\n", "linear", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("output too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	s := []Series{
+		{Label: "a", X: []float64{0, 1}, Y: []float64{0, 0}},
+		{Label: "b", X: []float64{0, 1}, Y: []float64{1, 1}},
+	}
+	out := Render(s, Options{Width: 20, Height: 6})
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("missing distinct markers:\n%s", out)
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	s := []Series{{Label: "p", X: []float64{1, 2, 3}, Y: []float64{1e-9, 1e-6, 1e-3}}}
+	out := Render(s, Options{YLog: true, Width: 30, Height: 8})
+	if !strings.Contains(out, "1e") {
+		t.Fatalf("log axis labels missing:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	s := []Series{{
+		Label: "bad",
+		X:     []float64{0, 1, 2, 3},
+		Y:     []float64{math.NaN(), math.Inf(1), 1, 2},
+	}}
+	out := Render(s, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "o") {
+		t.Fatalf("finite points were dropped:\n%s", out)
+	}
+}
+
+func TestRenderLogSkipsNonPositive(t *testing.T) {
+	s := []Series{{Label: "z", X: []float64{0, 1}, Y: []float64{0, -1}}}
+	out := Render(s, Options{YLog: true})
+	if !strings.Contains(out, "no finite data points") {
+		t.Fatalf("expected empty-chart message:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(nil, Options{})
+	if !strings.Contains(out, "no finite data points") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges (all x equal, all y equal) must not divide by
+	// zero or panic.
+	s := []Series{{Label: "const", X: []float64{5, 5}, Y: []float64{2, 2}}}
+	out := Render(s, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "o") {
+		t.Fatalf("constant series missing:\n%s", out)
+	}
+}
+
+func TestRenderCollisionMarker(t *testing.T) {
+	s := []Series{
+		{Label: "a", X: []float64{0}, Y: []float64{0}},
+		{Label: "b", X: []float64{0}, Y: []float64{0}},
+	}
+	out := Render(s, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "?") {
+		t.Fatalf("collision marker missing:\n%s", out)
+	}
+}
+
+func TestRenderMismatchedLengths(t *testing.T) {
+	s := []Series{{Label: "m", X: []float64{0, 1, 2}, Y: []float64{1}}}
+	out := Render(s, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "o") {
+		t.Fatalf("short series dropped entirely:\n%s", out)
+	}
+}

@@ -1,0 +1,227 @@
+// Package relpipe maps pipelined real-time systems — linear chains of
+// tasks processed in a pipelined fashion — onto distributed platforms,
+// optimizing reliability under period (throughput) and latency
+// (response-time) constraints. It reproduces "Reliability and performance
+// optimization of pipelined real-time systems" (Benoit, Dufossé, Girault,
+// Robert; ICPP 2010 / JPDC 2013): interval mappings with spatial
+// replication, the reliability/latency/period evaluation of §4, the
+// polynomial algorithms of §5, exact solvers for the NP-complete
+// variants, the heuristics of §7, and a failure-injecting simulator.
+//
+// Quick start:
+//
+//	inst := relpipe.Instance{
+//	    Chain:    relpipe.Chain{{Work: 10, Out: 2}, {Work: 8, Out: 0}},
+//	    Platform: relpipe.HomogeneousPlatform(4, 1, 1e-8, 1, 1e-5, 3),
+//	}
+//	sol, err := relpipe.Optimize(inst, relpipe.Bounds{Period: 12}, relpipe.Auto)
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// paper-to-package map.
+package relpipe
+
+import (
+	"math"
+
+	"relpipe/internal/alloc"
+	"relpipe/internal/chain"
+	"relpipe/internal/core"
+	"relpipe/internal/cost"
+	"relpipe/internal/frontier"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/mttf"
+	"relpipe/internal/multichain"
+	"relpipe/internal/platform"
+	"relpipe/internal/rng"
+	"relpipe/internal/sched"
+	"relpipe/internal/sim"
+)
+
+// Core model types.
+type (
+	// Task is one pipeline stage: Work units of computation producing
+	// Out units of output data (the last task has Out = 0).
+	Task = chain.Task
+	// Chain is the application: a linear chain of tasks.
+	Chain = chain.Chain
+	// Processor describes one computing resource (speed, failure rate).
+	Processor = platform.Processor
+	// Platform is the hardware target: processors, link bandwidth and
+	// failure rate, and the replication bound K.
+	Platform = platform.Platform
+	// Interval is a run of consecutive tasks mapped together.
+	Interval = interval.Interval
+	// Partition divides the chain into intervals.
+	Partition = interval.Partition
+	// Mapping assigns every interval to a set of replica processors.
+	Mapping = mapping.Mapping
+	// Eval carries every §4 objective of a mapping: reliability,
+	// expected/worst-case latency and period.
+	Eval = mapping.Eval
+	// Instance bundles a chain with a platform.
+	Instance = core.Instance
+	// Bounds carries period/latency constraints (0 = unconstrained).
+	Bounds = core.Bounds
+	// Method selects the optimization algorithm.
+	Method = core.Method
+	// Solution is a mapping with its evaluation.
+	Solution = core.Solution
+	// SimConfig configures a failure-injection simulation run.
+	SimConfig = sim.Config
+	// SimResult aggregates a simulation run.
+	SimResult = sim.Result
+	// SimTrace records the operations of a simulation run for Gantt
+	// rendering and utilization analysis (attach to SimConfig.Trace).
+	SimTrace = sim.Trace
+	// AllocConstraint restricts which processor may host which interval.
+	AllocConstraint = alloc.Constraint
+	// FrontierPoint is one Pareto-optimal (period, latency, reliability)
+	// trade-off.
+	FrontierPoint = frontier.Point
+	// Schedule is the closed-form periodic timetable of a mapping.
+	Schedule = sched.Table
+	// CostSolution is a cost-minimal mapping (see MinimizeCost).
+	CostSolution = cost.Solution
+	// SharedApp is one application competing for a shared platform
+	// (see OptimizeShared).
+	SharedApp = multichain.App
+	// SharedResult is the joint mapping of several applications.
+	SharedResult = multichain.Result
+)
+
+// Optimization methods.
+const (
+	// Auto picks the strongest applicable method.
+	Auto = core.Auto
+	// HeurP is the period-oriented heuristic (§7).
+	HeurP = core.HeurP
+	// HeurL is the latency-oriented heuristic (§7).
+	HeurL = core.HeurL
+	// BestHeuristic runs both heuristics and keeps the better result.
+	BestHeuristic = core.BestHeuristic
+	// DP is the reliability/period dynamic program (§5.1–5.2,
+	// homogeneous platforms).
+	DP = core.DP
+	// Exact enumerates partitions with optimal allocation (homogeneous
+	// platforms, ≤ 22 tasks).
+	Exact = core.Exact
+	// ILP solves the §5.4 integer program by branch and bound.
+	ILP = core.ILP
+)
+
+// Simulation routing modes.
+const (
+	// SimOneHop charges each stage boundary one hop (matches the
+	// latency/period formulas).
+	SimOneHop = sim.OneHop
+	// SimTwoHop charges replica→router and router→replica hops
+	// (matches the reliability formula, Eq. 9).
+	SimTwoHop = sim.TwoHop
+)
+
+// ErrInfeasible is returned by Optimize when no mapping fits the bounds.
+var ErrInfeasible = core.ErrInfeasible
+
+// Optimize computes a reliability-maximal mapping under the bounds.
+func Optimize(in Instance, b Bounds, m Method) (Solution, error) {
+	return core.Optimize(in, b, m)
+}
+
+// Evaluate computes reliability, latency and period of a mapping (§4).
+func Evaluate(in Instance, m Mapping) (Eval, error) {
+	return core.Evaluate(in, m)
+}
+
+// UnroutedFailProb computes the exact failure probability of a mapping
+// without routing operations (the paper's future-work question): every
+// replica sends directly to every replica of the next interval, crossing
+// each boundary once instead of twice.
+func UnroutedFailProb(in Instance, m Mapping) (float64, error) {
+	return core.UnroutedFailProb(in, m)
+}
+
+// MinPeriod minimizes the period subject to a reliability floor on a
+// homogeneous platform (§5.2, converse problem). minReliability is the
+// required success probability per data set; pass 0 for unconstrained.
+func MinPeriod(in Instance, minReliability float64) (Solution, error) {
+	minLogRel := math.Inf(-1)
+	if minReliability > 0 {
+		minLogRel = math.Log(minReliability)
+	}
+	return core.MinPeriod(in, minLogRel)
+}
+
+// Simulate runs the discrete-event pipeline simulator.
+func Simulate(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
+
+// ParseMethod converts a CLI name ("exact", "heur-p", …) into a Method.
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// HomogeneousPlatform builds a platform of p identical processors with
+// the given speed, processor failure rate, link bandwidth, link failure
+// rate, and replication bound.
+func HomogeneousPlatform(p int, speed, failRate, bandwidth, linkFailRate float64, maxReplicas int) Platform {
+	return platform.Homogeneous(p, speed, failRate, bandwidth, linkFailRate, maxReplicas)
+}
+
+// RandomChain generates a chain of n tasks with works in [wMin, wMax] and
+// output sizes in [oMin, oMax], deterministically from the seed.
+func RandomChain(seed uint64, n int, wMin, wMax, oMin, oMax float64) Chain {
+	return chain.Random(rng.New(seed), n, wMin, wMax, oMin, oMax)
+}
+
+// Frontier enumerates the Pareto-optimal (period, latency, reliability)
+// trade-offs of the instance (homogeneous platforms).
+func Frontier(in Instance) ([]FrontierPoint, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return frontier.Compute(in.Chain, in.Platform)
+}
+
+// BuildSchedule constructs the closed-form periodic timetable of a
+// mapping at the given injection period (≥ the mapping's worst-case
+// period): the concrete schedule whose existence the real-time contract
+// of §1 presumes.
+func BuildSchedule(in Instance, m Mapping, period float64) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return sched.Build(in.Chain, in.Platform, m, period)
+}
+
+// MinimizeCost returns the cheapest mapping meeting a reliability floor
+// (success probability per data set; 0 for unconstrained) and the
+// bounds, on platforms with identical speed/failure rate but arbitrary
+// per-processor prices — the resource-cost extension of §9.
+func MinimizeCost(in Instance, costs []float64, minReliability float64, b Bounds) (CostSolution, error) {
+	if err := in.Validate(); err != nil {
+		return CostSolution{}, err
+	}
+	minLogRel := math.Inf(-1)
+	if minReliability > 0 {
+		minLogRel = math.Log(minReliability)
+	}
+	return cost.Minimize(in.Chain, in.Platform, costs, minLogRel, b.Period, b.Latency)
+}
+
+// OptimizeShared maps several independent applications onto one shared
+// homogeneous platform (the Autosar situation of the paper's §1:
+// multiple vehicle functions sharing the ECUs), partitioning the
+// processors to maximize the joint reliability while every application
+// meets its own period and latency bounds.
+func OptimizeShared(apps []SharedApp, pl Platform) (SharedResult, error) {
+	return multichain.Map(apps, pl)
+}
+
+// MTTF returns the mean time to the first failed data set of a mapping
+// with the given per-data-set failure probability, processing one data
+// set per period.
+func MTTF(failProb, period float64) (float64, error) { return mttf.MTTF(failProb, period) }
+
+// MissionSurvival returns the probability that every data set of a
+// mission of the given duration is processed correctly.
+func MissionSurvival(failProb, period, mission float64) (float64, error) {
+	return mttf.MissionSurvival(failProb, period, mission)
+}

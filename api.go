@@ -1,0 +1,131 @@
+package relpipe
+
+import "encoding/json"
+
+// This file defines the wire types of the solver service (internal/service,
+// cmd/serve). They live in the root package so that Go clients of the HTTP
+// API can marshal requests and unmarshal responses with the same structs
+// the server uses.
+
+// OptimizeRequest asks for a reliability-maximal mapping of an instance
+// under real-time bounds ("POST /v1/optimize").
+type OptimizeRequest struct {
+	Instance Instance `json:"instance"`
+	Bounds   Bounds   `json:"bounds,omitzero"`
+	// Method is a CLI-style name: "auto", "dp", "exact", "ilp", "heur-p",
+	// "heur-l", "best-heuristic". Empty means "auto".
+	Method string `json:"method,omitempty"`
+}
+
+// OptimizeResponse carries the solution of an optimize (or min-period)
+// request.
+type OptimizeResponse struct {
+	Solution Solution `json:"solution"`
+}
+
+// EvaluateRequest asks for the §4 objectives of a given mapping
+// ("POST /v1/evaluate").
+type EvaluateRequest struct {
+	Instance Instance `json:"instance"`
+	Mapping  Mapping  `json:"mapping"`
+}
+
+// EvaluateResponse carries the evaluation of a mapping.
+type EvaluateResponse struct {
+	Eval Eval `json:"eval"`
+}
+
+// MinPeriodRequest asks for the period-minimal mapping subject to a
+// reliability floor ("POST /v1/minperiod"). MinReliability is the
+// required success probability per data set; 0 means unconstrained.
+type MinPeriodRequest struct {
+	Instance       Instance `json:"instance"`
+	MinReliability float64  `json:"minReliability,omitempty"`
+}
+
+// FrontierRequest asks for the full tri-criteria Pareto frontier of an
+// instance ("POST /v1/frontier").
+type FrontierRequest struct {
+	Instance Instance `json:"instance"`
+}
+
+// FrontierResponse carries the Pareto-optimal (period, latency,
+// reliability) trade-offs, sorted by period then latency.
+type FrontierResponse struct {
+	Points []FrontierPoint `json:"points"`
+}
+
+// MinCostRequest asks for the cheapest mapping meeting a reliability
+// floor and the bounds ("POST /v1/mincost"). Costs[u] is the price of
+// enrolling processor u.
+type MinCostRequest struct {
+	Instance       Instance  `json:"instance"`
+	Costs          []float64 `json:"costs"`
+	MinReliability float64   `json:"minReliability,omitempty"`
+	Bounds         Bounds    `json:"bounds,omitzero"`
+}
+
+// MinCostResponse carries a cost-minimal mapping.
+type MinCostResponse struct {
+	Solution CostSolution `json:"solution"`
+}
+
+// SimulateRequest runs the discrete-event simulator on a mapping
+// ("POST /v1/simulate"). Routing is "one-hop" (default) or "two-hop".
+type SimulateRequest struct {
+	Instance       Instance `json:"instance"`
+	Mapping        Mapping  `json:"mapping"`
+	Period         float64  `json:"period"`
+	DataSets       int      `json:"dataSets"`
+	Seed           uint64   `json:"seed,omitempty"`
+	InjectFailures bool     `json:"injectFailures,omitempty"`
+	Routing        string   `json:"routing,omitempty"`
+	WarmUp         int      `json:"warmUp,omitempty"`
+}
+
+// SimulateResponse summarizes a simulation run. Per-data-set series are
+// reduced to aggregates so responses stay small at service scale.
+// Aggregates the simulator cannot define — the latency fields when no
+// data set succeeded, SteadyPeriod with fewer than two post-warm-up
+// completions — are reported as 0; Successes and DataSets disambiguate.
+type SimulateResponse struct {
+	DataSets     int     `json:"dataSets"`
+	Successes    int     `json:"successes"`
+	SuccessRate  float64 `json:"successRate"`
+	MeanLatency  float64 `json:"meanLatency"`
+	MaxLatency   float64 `json:"maxLatency"`
+	SteadyPeriod float64 `json:"steadyPeriod"`
+}
+
+// BatchJob is one job of a batch request: Kind names the endpoint
+// ("optimize", "evaluate", "minperiod", "frontier", "mincost",
+// "simulate") and Request holds that endpoint's request document.
+type BatchJob struct {
+	Kind    string          `json:"kind"`
+	Request json.RawMessage `json:"request"`
+}
+
+// BatchRequest fans a list of independent jobs across the service's
+// worker pool ("POST /v1/batch").
+type BatchRequest struct {
+	Jobs []BatchJob `json:"jobs"`
+}
+
+// BatchJobResult is the outcome of one batch job: Status is the HTTP
+// status the job would have received standalone; Body is its response
+// document (or an error document when Status is not 200).
+type BatchJobResult struct {
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// BatchResponse carries one result per job, in request order.
+type BatchResponse struct {
+	Results []BatchJobResult `json:"results"`
+}
+
+// ErrorResponse is the error document of the service: a human-readable
+// message mirroring the HTTP status.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -9,7 +9,12 @@
 package relpipe_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"relpipe"
@@ -28,6 +33,7 @@ import (
 	"relpipe/internal/rbd"
 	"relpipe/internal/rng"
 	"relpipe/internal/sched"
+	"relpipe/internal/service"
 	"relpipe/internal/sim"
 )
 
@@ -373,6 +379,59 @@ func BenchmarkScheduleBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServiceOptimize measures the solver service's /v1/optimize
+// hot path over real HTTP: "uncached" disables the result cache so every
+// request runs a full solve; "cached" repeats one request so all but the
+// first are LRU hits. The cached/uncached ratio is the serving headroom
+// the cache buys; future PRs track both.
+func BenchmarkServiceOptimize(b *testing.B) {
+	body, err := json.Marshal(relpipe.OptimizeRequest{
+		Instance: relpipe.Instance{
+			Chain:    chain.PaperRandom(rng.New(41), 12),
+			Platform: platform.PaperHomogeneous(10),
+		},
+		Bounds: relpipe.Bounds{Period: 250, Latency: 900},
+		Method: "exact",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(b *testing.B, url string) {
+		b.Helper()
+		resp, err := http.Post(url+"/v1/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		s := service.NewServer(service.Options{CacheSize: -1})
+		ts := httptest.NewServer(s)
+		defer func() { ts.Close(); s.Close() }()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		s := service.NewServer(service.Options{})
+		ts := httptest.NewServer(s)
+		defer func() { ts.Close(); s.Close() }()
+		post(b, ts.URL) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL)
+		}
+		if hits := s.Metrics().CacheHits(); hits < int64(b.N) {
+			b.Fatalf("cache hits = %d, want ≥ %d", hits, b.N)
+		}
+	})
 }
 
 // BenchmarkOptimizeAuto exercises the public facade end to end.

@@ -1,0 +1,89 @@
+// Command serve runs the concurrent solver service: an HTTP JSON API
+// exposing optimize, evaluate, min-period, frontier, min-cost, simulate
+// and batch endpoints over a bounded worker pool with a result cache and
+// in-flight deduplication (see internal/service).
+//
+// Usage:
+//
+//	serve [-addr :8080] [-workers 0] [-queue 0] [-cache 1024] [-timeout 30s] [-grace 10s]
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight requests get up to the shutdown grace period to
+// finish, and the worker pool drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"relpipe/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "pending-solve queue size (0 = 4x workers)")
+	cacheSize := fs.Int("cache", 1024, "result cache entries (negative disables)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve timeout")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
+	fs.Parse(os.Args[1:])
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	if err := run(ctx, ln, service.Options{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+	}, *grace, log.Default()); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+// run serves the solver service on ln until ctx is cancelled, then shuts
+// down gracefully: stop accepting, give in-flight requests the grace
+// period, drain the worker pool.
+func run(ctx context.Context, ln net.Listener, opts service.Options, grace time.Duration, logger *log.Logger) error {
+	svc := service.NewServer(opts)
+	httpSrv := &http.Server{
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logger.Printf("solver service listening on %s", ln.Addr())
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return fmt.Errorf("listener failed: %w", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down (grace %v)", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	svc.Close()
+	if srvErr := <-errc; srvErr != nil && !errors.Is(srvErr, http.ErrServerClosed) {
+		return srvErr
+	}
+	logger.Printf("shutdown complete")
+	return err
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"relpipe"
+	"relpipe/internal/service"
+)
+
+// startTestService runs the serve loop on an ephemeral port and returns
+// its base URL plus a shutdown function that triggers and awaits the
+// graceful exit.
+func startTestService(t *testing.T) (string, func() error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, ln, service.Options{Workers: 2}, 5*time.Second,
+			log.New(io.Discard, "", 0))
+	}()
+	return "http://" + ln.Addr().String(), func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(10 * time.Second):
+			return context.DeadlineExceeded
+		}
+	}
+}
+
+func TestServeHealthzAndOptimize(t *testing.T) {
+	url, shutdown := startTestService(t)
+
+	// The listener is already accepting when run starts serving; poll
+	// healthz until the handler answers.
+	var resp *http.Response
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get(url + "/healthz")
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body, err := json.Marshal(relpipe.OptimizeRequest{
+		Instance: relpipe.Instance{
+			Chain:    relpipe.RandomChain(1, 6, 1, 100, 1, 10),
+			Platform: relpipe.HomogeneousPlatform(4, 1, 1e-8, 1, 1e-5, 3),
+		},
+		Method: "dp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(url+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("optimize = %d: %s", resp.StatusCode, b)
+	}
+	var opt relpipe.OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&opt); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Solution.Method != "dp" {
+		t.Fatalf("solution = %+v", opt.Solution)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// After shutdown the port must refuse connections.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+}

@@ -1,0 +1,55 @@
+// Smoke tests for the example programs: each must build and run to
+// completion (exit code 0), so drift between the examples and the
+// library API breaks CI instead of lingering silently in the docs.
+package relpipe_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile and run external processes; skipped with -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no example programs found")
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			exe := filepath.Join(bin, name)
+			build := exec.Command("go", "build", "-o", exe, "./examples/"+name)
+			build.Dir = root
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			run := exec.CommandContext(ctx, exe)
+			run.Dir = t.TempDir() // examples must not depend on the CWD
+			if out, err := run.CombinedOutput(); err != nil {
+				t.Fatalf("run failed: %v\n%s", err, out)
+			}
+		})
+	}
+}

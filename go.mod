@@ -1,0 +1,3 @@
+module relpipe
+
+go 1.24

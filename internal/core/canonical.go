@@ -1,0 +1,40 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"io"
+	"strconv"
+)
+
+// Canonical returns a stable SHA-256 hex digest of the instance. Two
+// instances have equal digests iff their chains and platforms are
+// bit-for-bit identical: floats are encoded in exact hexadecimal form,
+// so the digest is independent of JSON formatting, field order in the
+// source document, or decimal rounding. The solver service keys its
+// result cache and in-flight deduplication on this digest.
+func (in Instance) Canonical() string {
+	h := sha256.New()
+	io.WriteString(h, "chain/")
+	for _, t := range in.Chain {
+		writeFloat(h, t.Work)
+		writeFloat(h, t.Out)
+	}
+	io.WriteString(h, "platform/")
+	for _, p := range in.Platform.Procs {
+		writeFloat(h, p.Speed)
+		writeFloat(h, p.FailRate)
+	}
+	writeFloat(h, in.Platform.Bandwidth)
+	writeFloat(h, in.Platform.LinkFailRate)
+	io.WriteString(h, strconv.Itoa(in.Platform.MaxReplicas))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeFloat writes one exact float ('x' format round-trips every
+// float64 losslessly) plus a separator so adjacent values cannot alias.
+func writeFloat(h hash.Hash, f float64) {
+	io.WriteString(h, strconv.FormatFloat(f, 'x', -1, 64))
+	io.WriteString(h, ";")
+}

@@ -109,12 +109,17 @@ func TestFailureRatePerHour(t *testing.T) {
 }
 
 func TestSurvivalConsistentWithExpectedFailures(t *testing.T) {
-	// For small probabilities, -ln(survival) ≈ expected failures.
+	// For small probabilities, -ln(survival) ≈ expected failures. The
+	// mission length is capped so expected failures stay below ~600:
+	// past E ≈ 745 (the subnormal limit) the survival e^-E underflows
+	// float64 to exactly 0 and -ln(0) = +Inf breaks the comparison for
+	// purely numerical reasons; past ~708 precision already degrades as
+	// e^-E goes subnormal.
 	f := func(seed uint64) bool {
 		r := rng.New(seed)
 		p := math.Pow(10, r.Uniform(-12, -3))
 		period := r.Uniform(1, 100)
-		mission := r.Uniform(period, period*1e6)
+		mission := r.Uniform(period, period*math.Min(1e6, 600/p))
 		s, err1 := MissionSurvival(p, period, mission)
 		e, err2 := ExpectedFailures(p, period, mission)
 		if err1 != nil || err2 != nil {

@@ -1,0 +1,51 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup deduplicates concurrent identical work: the first caller
+// of Do for a key becomes the leader and executes fn; callers arriving
+// while the leader runs block and share its result (singleflight
+// semantics, hand-rolled on the stdlib). Once a flight lands, the key is
+// forgotten — subsequent calls start a fresh flight (the result cache,
+// not the flight group, serves repeats).
+type flightGroup struct {
+	mu     sync.Mutex
+	flight map[string]*flightCall
+	joins  atomic.Int64 // cumulative followers that attached to a flight
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flight: make(map[string]*flightCall)}
+}
+
+// Do executes fn once per key among concurrent callers. It returns fn's
+// result and whether this caller shared another caller's execution.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.flight[key]; ok {
+		g.joins.Add(1)
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.flight[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.flight, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

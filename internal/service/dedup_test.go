@@ -1,0 +1,100 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFlightGroupSharesOneExecution(t *testing.T) {
+	g := newFlightGroup()
+	var execs atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const followers = 15
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, shared := g.Do("k", func() (any, error) {
+			close(started)
+			<-release
+			execs.Add(1)
+			return 42, nil
+		})
+		if err != nil || v.(int) != 42 || shared {
+			t.Errorf("leader: v=%v err=%v shared=%v", v, err, shared)
+		}
+	}()
+	<-started // leader is inside fn; followers must join it
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (any, error) {
+				execs.Add(1)
+				return -1, nil
+			})
+			if err != nil || v.(int) != 42 {
+				t.Errorf("follower: v=%v err=%v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Release the leader only once every follower has attached to the
+	// in-flight call.
+	waitFor(t, func() bool { return g.joins.Load() == followers })
+	close(release)
+	wg.Wait()
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	if n := sharedCount.Load(); n != followers {
+		t.Fatalf("%d followers reported shared, want %d", n, followers)
+	}
+}
+
+func TestFlightGroupErrorsShared(t *testing.T) {
+	g := newFlightGroup()
+	boom := errors.New("boom")
+	_, err, _ := g.Do("k", func() (any, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestFlightGroupForgetsLandedFlights(t *testing.T) {
+	g := newFlightGroup()
+	for want := 1; want <= 3; want++ {
+		n := 0
+		g.Do("k", func() (any, error) { n++; return nil, nil })
+		if n != 1 {
+			t.Fatalf("sequential call %d did not execute", want)
+		}
+	}
+}
+
+func TestFlightGroupIndependentKeys(t *testing.T) {
+	g := newFlightGroup()
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.Do(string(rune('a'+i)), func() (any, error) {
+				execs.Add(1)
+				return nil, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 8 {
+		t.Fatalf("executed %d times, want 8 (one per key)", n)
+	}
+}

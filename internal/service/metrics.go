@@ -1,0 +1,145 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the solve-latency
+// histogram, exponential from 1 ms to 10 s; an implicit +Inf bucket
+// catches the rest.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// numBuckets is len(latencyBuckets); kept as a constant for the
+// fixed-size atomic counter array (checked by a test).
+const numBuckets = 13
+
+// Metrics aggregates the service counters exposed at /metrics. All
+// methods are safe for concurrent use; counters are monotonic, QueueDepth
+// is a gauge maintained by the worker pool.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64 // per endpoint
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	dedupJoins  atomic.Int64
+	solves      atomic.Int64
+	rejected    atomic.Int64 // queue-full 429s
+	queueDepth  atomic.Int64
+
+	histCounts [numBuckets + 1]atomic.Int64
+	histSumNs  atomic.Int64
+	histCount  atomic.Int64
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{requests: make(map[string]int64)}
+}
+
+// Request counts one request against an endpoint name.
+func (m *Metrics) Request(endpoint string) {
+	m.mu.Lock()
+	m.requests[endpoint]++
+	m.mu.Unlock()
+}
+
+// CacheHit / CacheMiss count result-cache lookups.
+func (m *Metrics) CacheHit()  { m.cacheHits.Add(1) }
+func (m *Metrics) CacheMiss() { m.cacheMisses.Add(1) }
+
+// DedupJoin counts a request that attached to an identical in-flight
+// solve instead of starting its own.
+func (m *Metrics) DedupJoin() { m.dedupJoins.Add(1) }
+
+// Solve counts one underlying solver execution.
+func (m *Metrics) Solve() { m.solves.Add(1) }
+
+// Rejected counts a request shed with 429 because the queue was full.
+func (m *Metrics) Rejected() { m.rejected.Add(1) }
+
+// QueueEnter / QueueLeave maintain the queue-depth gauge.
+func (m *Metrics) QueueEnter() { m.queueDepth.Add(1) }
+func (m *Metrics) QueueLeave() { m.queueDepth.Add(-1) }
+
+// ObserveSolve records one solve latency in the histogram.
+func (m *Metrics) ObserveSolve(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	m.histCounts[i].Add(1)
+	m.histSumNs.Add(int64(seconds * 1e9))
+	m.histCount.Add(1)
+}
+
+// Solves returns the number of underlying solver executions (tests
+// assert dedup and caching through it).
+func (m *Metrics) Solves() int64 { return m.solves.Load() }
+
+// CacheHits returns the number of result-cache hits.
+func (m *Metrics) CacheHits() int64 { return m.cacheHits.Load() }
+
+// DedupJoins returns the number of requests that joined an in-flight
+// solve.
+func (m *Metrics) DedupJoins() int64 { return m.dedupJoins.Load() }
+
+// bucketSnapshot is one cumulative histogram bucket, Prometheus-style.
+type bucketSnapshot struct {
+	LE    float64 `json:"le"` // upper bound in seconds
+	Count int64   `json:"count"`
+}
+
+// snapshot is the JSON document served at /metrics.
+type snapshot struct {
+	Requests     map[string]int64 `json:"requests"`
+	CacheHits    int64            `json:"cacheHits"`
+	CacheMisses  int64            `json:"cacheMisses"`
+	DedupJoins   int64            `json:"dedupJoins"`
+	Solves       int64            `json:"solves"`
+	Rejected     int64            `json:"rejected"`
+	QueueDepth   int64            `json:"queueDepth"`
+	SolveLatency struct {
+		Count   int64            `json:"count"`
+		SumSecs float64          `json:"sumSeconds"`
+		Buckets []bucketSnapshot `json:"buckets"`
+		Inf     int64            `json:"infCount"`
+	} `json:"solveLatency"`
+}
+
+// Snapshot returns a consistent-enough copy of every counter. Counters
+// are read individually (not under one lock), so a snapshot taken during
+// traffic may be off by in-flight increments — fine for monitoring.
+func (m *Metrics) Snapshot() any {
+	var s snapshot
+	s.Requests = make(map[string]int64)
+	m.mu.Lock()
+	for k, v := range m.requests {
+		s.Requests[k] = v
+	}
+	m.mu.Unlock()
+	s.CacheHits = m.cacheHits.Load()
+	s.CacheMisses = m.cacheMisses.Load()
+	s.DedupJoins = m.dedupJoins.Load()
+	s.Solves = m.solves.Load()
+	s.Rejected = m.rejected.Load()
+	s.QueueDepth = m.queueDepth.Load()
+	s.SolveLatency.Count = m.histCount.Load()
+	s.SolveLatency.SumSecs = float64(m.histSumNs.Load()) / 1e9
+	cum := int64(0)
+	for i, le := range latencyBuckets {
+		cum += m.histCounts[i].Load()
+		s.SolveLatency.Buckets = append(s.SolveLatency.Buckets, bucketSnapshot{LE: le, Count: cum})
+	}
+	s.SolveLatency.Inf = cum + m.histCounts[len(latencyBuckets)].Load()
+	return s
+}
+
+// ServeHTTP serves the snapshot as JSON (the /metrics handler).
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(m.Snapshot())
+}

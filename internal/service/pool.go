@@ -1,0 +1,138 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by Pool.Do when the submission queue is at
+// capacity; the HTTP layer translates it to 429 + Retry-After.
+var ErrQueueFull = errors.New("service: worker queue full")
+
+// ErrPoolClosed is returned by Pool.Do after Close.
+var ErrPoolClosed = errors.New("service: pool closed")
+
+// ErrSolvePanic is returned (wrapped) by Pool.Do when the submitted
+// closure panicked; the worker survives and the HTTP layer answers 500.
+var ErrSolvePanic = errors.New("service: solve panicked")
+
+// Pool is a bounded worker pool with a bounded submission queue. Workers
+// execute solver closures; when the queue is full, Do fails fast instead
+// of letting latency grow without bound (load shedding).
+type Pool struct {
+	queue   chan poolTask
+	metrics *Metrics
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type poolTask struct {
+	fn  func() (any, error)
+	res chan poolResult
+}
+
+type poolResult struct {
+	val any
+	err error
+}
+
+// NewPool starts a pool of workers (≤ 1 defaults to GOMAXPROCS) with a
+// queue of queueSize pending tasks (≤ 0 defaults to 4× workers). metrics
+// may be nil.
+func NewPool(workers, queueSize int, metrics *Metrics) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueSize < 1 {
+		queueSize = 4 * workers
+	}
+	p := &Pool{queue: make(chan poolTask, queueSize), metrics: metrics}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		if p.metrics != nil {
+			p.metrics.QueueLeave()
+		}
+		start := time.Now()
+		val, err := runTask(t.fn)
+		if p.metrics != nil {
+			p.metrics.ObserveSolve(time.Since(start).Seconds())
+		}
+		t.res <- poolResult{val, err}
+	}
+}
+
+// Do submits fn and waits for its result or for ctx. It returns
+// ErrQueueFull immediately when the queue is at capacity. If ctx expires
+// first, Do returns ctx.Err(); the task itself still runs to completion
+// on its worker (solvers are not preemptible), but its result is
+// discarded without blocking the worker.
+func (p *Pool) Do(ctx context.Context, fn func() (any, error)) (any, error) {
+	t := poolTask{fn: fn, res: make(chan poolResult, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	// The gauge is raised before the enqueue attempt: a worker may pick
+	// the task up (and call QueueLeave) the instant the send succeeds, and
+	// raising it afterwards would let the gauge dip below zero.
+	if p.metrics != nil {
+		p.metrics.QueueEnter()
+	}
+	select {
+	case p.queue <- t:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		if p.metrics != nil {
+			p.metrics.QueueLeave()
+		}
+		return nil, ErrQueueFull
+	}
+	select {
+	case r := <-t.res:
+		return r.val, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// runTask runs one solver closure, converting a panic into an error so
+// a buggy solver fails its one request instead of crashing the process
+// (net/http's per-connection recover does not cover pool goroutines).
+func runTask(fn func() (any, error)) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, err = nil, fmt.Errorf("%w: %v", ErrSolvePanic, r)
+		}
+	}()
+	return fn()
+}
+
+// Close stops accepting work and waits for queued tasks to drain and
+// workers to exit (graceful shutdown).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(2, 4, nil)
+	defer p.Close()
+	v, err := p.Do(context.Background(), func() (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+}
+
+func TestPoolQueueBackpressure(t *testing.T) {
+	m := NewMetrics()
+	p := NewPool(1, 1, m)
+	defer p.Close()
+
+	block := make(chan struct{})
+	defer close(block)
+	running := make(chan struct{})
+	// Occupy the single worker…
+	go p.Do(context.Background(), func() (any, error) {
+		close(running)
+		<-block
+		return nil, nil
+	})
+	<-running
+	// …fill the queue slot and wait until it is actually occupied…
+	go p.Do(context.Background(), func() (any, error) { return nil, nil })
+	waitFor(t, func() bool { return m.queueDepth.Load() == 1 })
+	// …then the next submission must be shed immediately.
+	if _, err := p.Do(context.Background(), func() (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestPoolContextTimeout(t *testing.T) {
+	p := NewPool(1, 4, nil)
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	_, err := p.Do(ctx, func() (any, error) {
+		defer close(done)
+		time.Sleep(100 * time.Millisecond)
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// The abandoned task still completes without blocking its worker.
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("abandoned task never completed")
+	}
+}
+
+func TestPoolCloseDrainsAndRejects(t *testing.T) {
+	p := NewPool(2, 8, nil)
+	var ran atomic.Int64
+	results := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := p.Do(context.Background(), func() (any, error) {
+				time.Sleep(5 * time.Millisecond)
+				ran.Add(1)
+				return nil, nil
+			})
+			results <- err
+		}()
+	}
+	// Give the submissions a moment to enqueue, then close.
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	if _, err := p.Do(context.Background(), func() (any, error) { return nil, nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Do after Close = %v, want ErrPoolClosed", err)
+	}
+	// Every accepted task ran to completion (drain); a submission may
+	// also have been shed (queue full) or have lost the race with Close
+	// on a slow machine (pool closed) — both are legal rejections.
+	for i := 0; i < 8; i++ {
+		if err := <-results; err != nil && !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("task error %v", err)
+		}
+	}
+}
+
+func TestPoolQueueDepthGauge(t *testing.T) {
+	m := NewMetrics()
+	p := NewPool(1, 4, m)
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go p.Do(context.Background(), func() (any, error) {
+		close(running)
+		<-block
+		return nil, nil
+	})
+	<-running
+	done := make(chan struct{})
+	go func() {
+		p.Do(context.Background(), func() (any, error) { return nil, nil })
+		close(done)
+	}()
+	// One task queued behind the blocked worker.
+	waitFor(t, func() bool { return m.queueDepth.Load() == 1 })
+	close(block)
+	<-done
+	waitFor(t, func() bool { return m.queueDepth.Load() == 0 })
+	p.Close()
+}
+
+func TestPoolRecoversPanickingTask(t *testing.T) {
+	p := NewPool(1, 4, nil)
+	defer p.Close()
+	_, err := p.Do(context.Background(), func() (any, error) { panic("solver bug") })
+	if !errors.Is(err, ErrSolvePanic) {
+		t.Fatalf("err = %v, want ErrSolvePanic", err)
+	}
+	// The single worker survived the panic and keeps serving.
+	v, err := p.Do(context.Background(), func() (any, error) { return 9, nil })
+	if err != nil || v.(int) != 9 {
+		t.Fatalf("Do after panic = %v, %v", v, err)
+	}
+}
+
+// waitFor polls cond for up to 2 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

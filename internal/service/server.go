@@ -1,0 +1,521 @@
+// Package service is the concurrent solver service: a stdlib-only HTTP
+// JSON API over the relpipe solvers. Every solve endpoint shares one
+// execution path — a bounded worker pool sized from GOMAXPROCS with
+// queue backpressure (429 + Retry-After when full), an LRU result cache
+// keyed by the canonical hash of (instance, parameters, method), and
+// in-flight deduplication so identical concurrent requests share one
+// underlying solve. /healthz reports liveness, /metrics exposes the
+// counters, and per-request timeouts bound the wait for a solve.
+//
+// Endpoints (all solve endpoints are POST, JSON in/out):
+//
+//	POST /v1/optimize   relpipe.OptimizeRequest  → relpipe.OptimizeResponse
+//	POST /v1/evaluate   relpipe.EvaluateRequest  → relpipe.EvaluateResponse
+//	POST /v1/minperiod  relpipe.MinPeriodRequest → relpipe.OptimizeResponse
+//	POST /v1/frontier   relpipe.FrontierRequest  → relpipe.FrontierResponse
+//	POST /v1/mincost    relpipe.MinCostRequest   → relpipe.MinCostResponse
+//	POST /v1/simulate   relpipe.SimulateRequest  → relpipe.SimulateResponse
+//	POST /v1/batch      relpipe.BatchRequest     → relpipe.BatchResponse
+//	GET  /healthz       {"status":"ok"}
+//	GET  /metrics       counter snapshot (JSON)
+//
+// Status codes: 200 success; 400 malformed or invalid input; 404/405
+// unknown route or method; 413 oversized body; 422 no feasible mapping;
+// 429 queue full (with Retry-After); 500 solver panic; 503 shutting
+// down; 504 solve exceeded the request timeout (the solve itself is not preempted —
+// solvers are not interruptible — but the client stops waiting).
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"relpipe"
+	"relpipe/internal/cost"
+	"relpipe/internal/sim"
+)
+
+// Options configures a Server. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueSize bounds pending solves before 429s (default 4×Workers).
+	QueueSize int
+	// CacheSize bounds the LRU result cache entries (default 1024;
+	// negative disables caching).
+	CacheSize int
+	// RequestTimeout bounds the wait for one solve (default 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatchJobs bounds jobs per /v1/batch request (default 256).
+	MaxBatchJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.MaxBatchJobs <= 0 {
+		o.MaxBatchJobs = 256
+	}
+	return o
+}
+
+// Server is the HTTP solver service. Create with NewServer, serve it as
+// an http.Handler, and Close it on shutdown to drain the worker pool.
+type Server struct {
+	opts    Options
+	pool    *Pool
+	cache   *Cache
+	flights *flightGroup
+	metrics *Metrics
+	mux     *http.ServeMux
+	workers int
+}
+
+// NewServer builds a ready-to-serve solver service.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		opts:    opts,
+		cache:   NewCache(opts.CacheSize),
+		flights: newFlightGroup(),
+		metrics: m,
+	}
+	s.workers = opts.Workers
+	if s.workers < 1 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	s.pool = NewPool(s.workers, opts.QueueSize, m)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/optimize", s.solveHandler("optimize", parseOptimize))
+	mux.HandleFunc("POST /v1/evaluate", s.solveHandler("evaluate", parseEvaluate))
+	mux.HandleFunc("POST /v1/minperiod", s.solveHandler("minperiod", parseMinPeriod))
+	mux.HandleFunc("POST /v1/frontier", s.solveHandler("frontier", parseFrontier))
+	mux.HandleFunc("POST /v1/mincost", s.solveHandler("mincost", parseMinCost))
+	mux.HandleFunc("POST /v1/simulate", s.solveHandler("simulate", parseSimulate))
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.metrics)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the server's counters (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains the worker pool; in-flight solves finish, new requests
+// get 503.
+func (s *Server) Close() { s.pool.Close() }
+
+// parser turns a decoded request body into a canonical cache key and a
+// solve closure producing the response DTO.
+type parser func(body []byte) (key string, solve func() (any, error), err error)
+
+// outcome is the materialized HTTP answer of one solve, shared verbatim
+// by deduplicated and cached requests.
+type outcome struct {
+	status int
+	body   []byte
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// solveHandler wraps a parser with the shared cache → dedup → pool path.
+func (s *Server) solveHandler(endpoint string, parse parser) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, status, err := readBody(w, r, s.opts.MaxBodyBytes)
+		if err != nil {
+			s.metrics.Request(endpoint)
+			writeError(w, status, err)
+			return
+		}
+		out := s.process(endpoint, parse, body)
+		writeOutcome(w, out)
+	}
+}
+
+// process runs one job (from a direct request or a batch item) through
+// metrics, parsing, the cache, the flight group, and the pool.
+func (s *Server) process(endpoint string, parse parser, body []byte) outcome {
+	s.metrics.Request(endpoint)
+	key, solve, err := parse(body)
+	if err != nil {
+		return errorOutcome(http.StatusBadRequest, err)
+	}
+	key = endpoint + "|" + key
+	if b, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHit()
+		return outcome{http.StatusOK, b}
+	}
+	s.metrics.CacheMiss()
+
+	v, _, shared := s.flights.Do(key, func() (any, error) {
+		// The flight for this key may have landed between our cache miss
+		// and becoming leader; re-check so a late arrival serves the
+		// cached result instead of re-solving.
+		if b, ok := s.cache.Get(key); ok {
+			s.metrics.CacheHit()
+			return outcome{http.StatusOK, b}, nil
+		}
+		// The solve is detached from any single request's context so
+		// that deduplicated followers and the cache can use its result
+		// even if the initiating client goes away; the service timeout
+		// still bounds the wait. Marshaling and caching happen on the
+		// worker side: a solve that outlives the timeout (its waiter
+		// already got 504) still lands in the cache, so the next
+		// identical request is a hit instead of another doomed solve.
+		ctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+		defer cancel()
+		val, err := s.pool.Do(ctx, func() (any, error) {
+			s.metrics.Solve()
+			v, err := solve()
+			if err != nil {
+				return nil, err
+			}
+			b, err := json.Marshal(v)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", errEncodeResponse, err)
+			}
+			s.cache.Put(key, b)
+			return b, nil
+		})
+		if err != nil {
+			return errorOutcome(statusFor(err), err), nil
+		}
+		return outcome{http.StatusOK, val.([]byte)}, nil
+	})
+	if shared {
+		s.metrics.DedupJoin()
+	}
+	out := v.(outcome)
+	if out.status == http.StatusTooManyRequests {
+		s.metrics.Rejected()
+	}
+	return out
+}
+
+// handleBatch fans the jobs across the worker pool (bounded by the pool
+// itself plus a per-batch fan-out cap) and answers with one result per
+// job in request order. Jobs shed with 429 can be retried individually.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("batch")
+	body, status, err := readBody(w, r, s.opts.MaxBodyBytes)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	var req relpipe.BatchRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch: no jobs"))
+		return
+	}
+	if len(req.Jobs) > s.opts.MaxBatchJobs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch: %d jobs exceeds limit %d", len(req.Jobs), s.opts.MaxBatchJobs))
+		return
+	}
+
+	results := make([]relpipe.BatchJobResult, len(req.Jobs))
+	sem := make(chan struct{}, max(1, s.workers))
+	var wg sync.WaitGroup
+	for i, job := range req.Jobs {
+		wg.Add(1)
+		go func(i int, job relpipe.BatchJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parse, ok := batchParsers[job.Kind]
+			var out outcome
+			if !ok {
+				out = errorOutcome(http.StatusBadRequest, fmt.Errorf("batch: unknown kind %q", job.Kind))
+			} else {
+				out = s.process(job.Kind, parse, job.Request)
+			}
+			results[i] = relpipe.BatchJobResult{Status: out.status, Body: out.body}
+		}(i, job)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, relpipe.BatchResponse{Results: results})
+}
+
+// batchParsers dispatches batch job kinds to the endpoint parsers.
+var batchParsers = map[string]parser{
+	"optimize":  parseOptimize,
+	"evaluate":  parseEvaluate,
+	"minperiod": parseMinPeriod,
+	"frontier":  parseFrontier,
+	"mincost":   parseMinCost,
+	"simulate":  parseSimulate,
+}
+
+// ---- endpoint parsers ----
+
+func parseOptimize(body []byte) (string, func() (any, error), error) {
+	var req relpipe.OptimizeRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		return "", nil, err
+	}
+	if req.Method == "" {
+		req.Method = "auto"
+	}
+	method, err := relpipe.ParseMethod(req.Method)
+	if err != nil {
+		return "", nil, err
+	}
+	key := req.Instance.Canonical() + "|m=" + method.String() + "|" + floatKey(req.Bounds.Period, req.Bounds.Latency)
+	return key, func() (any, error) {
+		sol, err := relpipe.Optimize(req.Instance, req.Bounds, method)
+		if err != nil {
+			return nil, err
+		}
+		return relpipe.OptimizeResponse{Solution: sol}, nil
+	}, nil
+}
+
+func parseEvaluate(body []byte) (string, func() (any, error), error) {
+	var req relpipe.EvaluateRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		return "", nil, err
+	}
+	key := req.Instance.Canonical() + "|" + mappingKey(req.Mapping)
+	return key, func() (any, error) {
+		ev, err := relpipe.Evaluate(req.Instance, req.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		return relpipe.EvaluateResponse{Eval: ev}, nil
+	}, nil
+}
+
+func parseMinPeriod(body []byte) (string, func() (any, error), error) {
+	var req relpipe.MinPeriodRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		return "", nil, err
+	}
+	key := req.Instance.Canonical() + "|" + floatKey(req.MinReliability)
+	return key, func() (any, error) {
+		sol, err := relpipe.MinPeriod(req.Instance, req.MinReliability)
+		if err != nil {
+			return nil, err
+		}
+		return relpipe.OptimizeResponse{Solution: sol}, nil
+	}, nil
+}
+
+func parseFrontier(body []byte) (string, func() (any, error), error) {
+	var req relpipe.FrontierRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		return "", nil, err
+	}
+	return req.Instance.Canonical(), func() (any, error) {
+		pts, err := relpipe.Frontier(req.Instance)
+		if err != nil {
+			return nil, err
+		}
+		return relpipe.FrontierResponse{Points: pts}, nil
+	}, nil
+}
+
+func parseMinCost(body []byte) (string, func() (any, error), error) {
+	var req relpipe.MinCostRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		return "", nil, err
+	}
+	key := req.Instance.Canonical() + "|" + floatKey(req.Costs...) +
+		"|" + floatKey(req.MinReliability, req.Bounds.Period, req.Bounds.Latency)
+	return key, func() (any, error) {
+		sol, err := relpipe.MinimizeCost(req.Instance, req.Costs, req.MinReliability, req.Bounds)
+		if err != nil {
+			return nil, err
+		}
+		return relpipe.MinCostResponse{Solution: sol}, nil
+	}, nil
+}
+
+func parseSimulate(body []byte) (string, func() (any, error), error) {
+	var req relpipe.SimulateRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		return "", nil, err
+	}
+	var routing sim.RoutingMode
+	switch req.Routing {
+	case "", "one-hop":
+		routing = sim.OneHop
+	case "two-hop":
+		routing = sim.TwoHop
+	default:
+		return "", nil, fmt.Errorf("simulate: unknown routing %q (want one-hop or two-hop)", req.Routing)
+	}
+	key := req.Instance.Canonical() + "|" + mappingKey(req.Mapping) +
+		"|" + floatKey(req.Period) +
+		fmt.Sprintf("|n=%d|s=%d|f=%t|r=%d|w=%d",
+			req.DataSets, req.Seed, req.InjectFailures, routing, req.WarmUp)
+	return key, func() (any, error) {
+		res, err := relpipe.Simulate(relpipe.SimConfig{
+			Chain:          req.Instance.Chain,
+			Platform:       req.Instance.Platform,
+			Mapping:        req.Mapping,
+			Period:         req.Period,
+			DataSets:       req.DataSets,
+			Seed:           req.Seed,
+			InjectFailures: req.InjectFailures,
+			Routing:        routing,
+			WarmUp:         req.WarmUp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The simulator reports undefined aggregates as NaN (no successful
+		// data set, or too few post-warm-up completions for SteadyPeriod),
+		// which json.Marshal rejects; the wire format uses 0 for "undefined"
+		// (Successes / DataSets disambiguate).
+		return relpipe.SimulateResponse{
+			DataSets:     res.DataSets,
+			Successes:    res.Successes,
+			SuccessRate:  finiteOrZero(res.SuccessRate()),
+			MeanLatency:  finiteOrZero(res.MeanLatency()),
+			MaxLatency:   finiteOrZero(res.MaxLatency()),
+			SteadyPeriod: finiteOrZero(res.SteadyPeriod),
+		}, nil
+	}, nil
+}
+
+// finiteOrZero maps NaN/±Inf to 0 so responses stay marshalable.
+func finiteOrZero(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}
+
+// ---- shared plumbing ----
+
+// readBody reads a bounded request body. On failure the returned status
+// is 413 for a body over the limit and 400 for anything else (e.g. a
+// truncated upload).
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) (body []byte, status int, err error) {
+	defer r.Body.Close()
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	return b, http.StatusOK, nil
+}
+
+// unmarshalStrict decodes JSON rejecting unknown fields and trailing
+// data, so typos and concatenated documents fail loudly instead of
+// silently solving the wrong problem.
+func unmarshalStrict(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("request body contains trailing data after the JSON document")
+	}
+	return nil
+}
+
+// errEncodeResponse marks a response DTO that json.Marshal rejected.
+var errEncodeResponse = errors.New("service: encode response")
+
+// statusFor maps solver and infrastructure errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, relpipe.ErrInfeasible), errors.Is(err, cost.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrSolvePanic), errors.Is(err, errEncodeResponse):
+		return http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func errorOutcome(status int, err error) outcome {
+	b, _ := json.Marshal(relpipe.ErrorResponse{Error: err.Error()})
+	return outcome{status, b}
+}
+
+func writeOutcome(w http.ResponseWriter, out outcome) {
+	w.Header().Set("Content-Type", "application/json")
+	if out.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(out.status)
+	w.Write(out.body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeOutcome(w, errorOutcome(status, err))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeOutcome(w, outcome{status, b})
+}
+
+// floatKey renders floats exactly (hex mantissa) for cache keys.
+func floatKey(fs ...float64) string {
+	s := ""
+	for i, f := range fs {
+		if i > 0 {
+			s += ","
+		}
+		s += strconv.FormatFloat(f, 'x', -1, 64)
+	}
+	return s
+}
+
+// mappingKey renders a mapping canonically (integers only, so %v is
+// exact and deterministic).
+func mappingKey(m relpipe.Mapping) string {
+	return fmt.Sprintf("parts=%v procs=%v", m.Parts, m.Procs)
+}

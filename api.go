@@ -72,6 +72,9 @@ type MinCostResponse struct {
 
 // SimulateRequest runs the discrete-event simulator on a mapping
 // ("POST /v1/simulate"). Routing is "one-hop" (default) or "two-hop".
+// Replications > 1 runs that many independent Monte-Carlo replications
+// (seeded deterministically from Seed, executed across the server's
+// per-request parallelism budget) and aggregates them; 0 or 1 runs one.
 type SimulateRequest struct {
 	Instance       Instance `json:"instance"`
 	Mapping        Mapping  `json:"mapping"`
@@ -81,6 +84,7 @@ type SimulateRequest struct {
 	InjectFailures bool     `json:"injectFailures,omitempty"`
 	Routing        string   `json:"routing,omitempty"`
 	WarmUp         int      `json:"warmUp,omitempty"`
+	Replications   int      `json:"replications,omitempty"`
 }
 
 // SimulateResponse summarizes a simulation run. Per-data-set series are

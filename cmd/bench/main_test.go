@@ -1,0 +1,165 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func benchFile(cal, exact float64) File {
+	return File{
+		Quick:      true,
+		GoMaxProcs: 1,
+		Benchmarks: []Entry{
+			{Name: "calibrate", NsPerOp: cal, Iterations: 1},
+			{Name: "exact-profiles/P=1", Tags: []string{tagHotPath}, NsPerOp: exact, Iterations: 1},
+		},
+	}
+}
+
+func TestCheckPassesWithinThreshold(t *testing.T) {
+	base := benchFile(100, 1000)
+	cur := benchFile(100, 1100) // 10% slower, threshold 20%
+	if n := check(base, cur, 0.20, os.Stdout); n != 0 {
+		t.Fatalf("regressions = %d, want 0", n)
+	}
+}
+
+func TestCheckFlagsRegression(t *testing.T) {
+	base := benchFile(100, 1000)
+	cur := benchFile(100, 1500) // 50% slower
+	if n := check(base, cur, 0.20, os.Stdout); n != 1 {
+		t.Fatalf("regressions = %d, want 1", n)
+	}
+}
+
+// TestCheckNormalizesByCalibration: a uniformly slower machine (both the
+// calibration kernel and the benchmark 3x slower) is not a regression.
+func TestCheckNormalizesByCalibration(t *testing.T) {
+	base := benchFile(100, 1000)
+	cur := benchFile(300, 3000)
+	if n := check(base, cur, 0.20, os.Stdout); n != 0 {
+		t.Fatalf("regressions = %d, want 0 after normalization", n)
+	}
+}
+
+// TestCheckSkipsParallelAcrossCoreCounts: when GOMAXPROCS differs
+// between runs, P>1 entries are neither gated (their ns/op scales with
+// core count) nor silently passed — they are skipped with a notice —
+// while single-threaded entries still gate.
+func TestCheckSkipsParallelAcrossCoreCounts(t *testing.T) {
+	mk := func(cores int, p1, p8 float64) File {
+		return File{
+			Quick:      true,
+			GoMaxProcs: cores,
+			Benchmarks: []Entry{
+				{Name: "calibrate", NsPerOp: 100},
+				{Name: "exact-profiles/P=1", Tags: []string{tagHotPath}, NsPerOp: p1},
+				{Name: "exact-profiles/P=8", Tags: []string{tagHotPath}, NsPerOp: p8},
+			},
+		}
+	}
+	// Same core count: a P=8 regression is caught and enforced.
+	if n := check(mk(4, 1000, 300), mk(4, 1000, 600), 0.20, os.Stdout); n != 1 {
+		t.Fatalf("same cores: failures = %d, want 1", n)
+	}
+	// Different core counts: the P=8 entry is skipped (a 4-core run is
+	// "faster" than a 1-core baseline for free), and sequential findings
+	// are advisory — reported but not enforced, because the calibration
+	// transfer is only trusted within a machine class.
+	if n := check(mk(1, 1000, 950), mk(4, 1000, 300), 0.20, os.Stdout); n != 0 {
+		t.Fatalf("different cores, clean: failures = %d, want 0", n)
+	}
+	if n := check(mk(1, 1000, 950), mk(4, 1600, 300), 0.20, os.Stdout); n != 0 {
+		t.Fatalf("different cores, advisory P=1 regression: failures = %d, want 0", n)
+	}
+}
+
+func TestIsParallel(t *testing.T) {
+	cases := map[string]bool{
+		"exact-profiles/P=8": true,
+		"monte-carlo/P=2":    true,
+		"exact-profiles/P=1": false,
+		"dp-reliability":     false,
+		"calibrate":          false,
+	}
+	for name, want := range cases {
+		if got := isParallel(name); got != want {
+			t.Errorf("isParallel(%q) = %t, want %t", name, got, want)
+		}
+	}
+}
+
+// TestCheckFailsOnMissingBenchmarks: a renamed or deleted gated kernel
+// counts as a failure — even across machine classes — so the gate
+// cannot be silently emptied.
+func TestCheckFailsOnMissingBenchmarks(t *testing.T) {
+	base := benchFile(100, 1000)
+	cur := File{Quick: true, GoMaxProcs: 1, Benchmarks: []Entry{{Name: "calibrate", NsPerOp: 100}}}
+	if n := check(base, cur, 0.20, os.Stdout); n != 1 {
+		t.Fatalf("failures = %d, want 1 (missing benchmark)", n)
+	}
+	cur.GoMaxProcs = 8 // different machine class: still enforced
+	if n := check(base, cur, 0.20, os.Stdout); n != 1 {
+		t.Fatalf("cross-class failures = %d, want 1 (missing benchmark)", n)
+	}
+}
+
+// TestCheckCalibrationPairing: normalization only applies when both
+// runs carry a calibrate entry; one-sided calibration degrades to raw
+// comparison instead of skewing every ratio by orders of magnitude.
+func TestCheckCalibrationPairing(t *testing.T) {
+	base := benchFile(100, 1000)
+	cur := File{Quick: true, GoMaxProcs: base.GoMaxProcs, Benchmarks: []Entry{
+		{Name: "exact-profiles/P=1", Tags: []string{tagHotPath}, NsPerOp: 1050},
+	}}
+	// Raw 1050 vs 1000 is within 20%; with the old one-sided fallback
+	// the ratio would have been (1050/1)/(1000/100) = 105x.
+	if n := check(base, cur, 0.20, os.Stdout); n != 0 {
+		t.Fatalf("failures = %d, want 0 (one-sided calibrate must not skew)", n)
+	}
+}
+
+func TestCheckSpeedups(t *testing.T) {
+	mk := func(cores int, exact, mc float64) File {
+		return File{GoMaxProcs: cores, Speedups: map[string]float64{
+			"exact-profiles": exact, "monte-carlo": mc,
+		}}
+	}
+	// Disabled floor: never fails.
+	if n := checkSpeedups(mk(8, 0.5, 0.5), 0, os.Stdout); n != 0 {
+		t.Fatalf("disabled: %d failures", n)
+	}
+	// Too few cores: skipped, the speedup cannot physically appear.
+	if n := checkSpeedups(mk(1, 1.0, 1.0), 2.0, os.Stdout); n != 0 {
+		t.Fatalf("1 core: %d failures, want 0 (skip)", n)
+	}
+	// Multi-core, both kernels above the floor.
+	if n := checkSpeedups(mk(8, 3.1, 2.4), 2.0, os.Stdout); n != 0 {
+		t.Fatalf("healthy: %d failures", n)
+	}
+	// Multi-core, one kernel lost its scaling.
+	if n := checkSpeedups(mk(8, 1.2, 2.4), 2.0, os.Stdout); n != 1 {
+		t.Fatalf("regressed: %d failures, want 1", n)
+	}
+	// A gated kernel missing from the run counts as a failure.
+	if n := checkSpeedups(File{GoMaxProcs: 8, Speedups: map[string]float64{}}, 2.0, os.Stdout); n != 2 {
+		t.Fatalf("missing: %d failures, want 2", n)
+	}
+}
+
+// TestQuickRunSmoke runs the smallest real measurement end to end so the
+// registry's setup closures stay exercised by `go test`.
+func TestQuickRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick bench run takes a few seconds")
+	}
+	sz := quickSizes()
+	sz.minTime = 1
+	sz.repeats = 1
+	for _, b := range benchmarks {
+		ns, iters := measure(b.setup(sz), sz)
+		if ns <= 0 || iters < 1 {
+			t.Fatalf("%s: ns=%g iters=%d", b.name, ns, iters)
+		}
+	}
+}

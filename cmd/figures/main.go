@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-out results] [-instances 100] [-seed 1] [-step 1] [-figs 6,7,12]
+//	figures [-out results] [-instances 100] [-seed 1] [-step 1] [-figs 6,7,12] [-parallel 0]
 //
 // With the default flags this reproduces the paper's experimental setup
 // exactly (100 instances, 15 tasks, 10 processors); see EXPERIMENTS.md
@@ -32,6 +32,7 @@ func main() {
 	figsFlag := flag.String("figs", "", "comma-separated figure numbers (default: all)")
 	hetSpeedMax := flag.Float64("hetspeedmax", 100, "upper end of heterogeneous speeds (paper text: 100; 10 reproduces the Fig. 12 ramp)")
 	extra := flag.Bool("extra", false, "also produce the beyond-the-paper ablation figures (figA1 routing cost, figA4 heuristic gap)")
+	parallel := flag.Int("parallel", 0, "experiment parallelism (0 = GOMAXPROCS, 1 = sequential; figures are identical for any value)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -50,7 +51,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
-	cfg := expfig.Config{Instances: *instances, Seed: *seed, Step: *step, HetSpeedMax: *hetSpeedMax}
+	cfg := expfig.Config{Instances: *instances, Seed: *seed, Step: *step, HetSpeedMax: *hetSpeedMax, Parallelism: *parallel}
 
 	type pairFn func(expfig.Config) (expfig.Figure, expfig.Figure)
 	pairs := []struct {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	frontier -instance inst.json [-floor 0.999999] [-csv out.csv]
+//	frontier -instance inst.json [-floor 0.999999] [-csv out.csv] [-parallel 0]
 package main
 
 import (
@@ -24,14 +24,15 @@ func main() {
 	instPath := flag.String("instance", "", "instance JSON file (required)")
 	floor := flag.Float64("floor", 0, "reliability floor for the period/latency projection")
 	csvPath := flag.String("csv", "", "write the full frontier as CSV to this file")
+	parallel := flag.Int("parallel", 0, "sweep parallelism (0 = GOMAXPROCS, 1 = sequential; the frontier is identical for any value)")
 	flag.Parse()
-	if err := run(*instPath, *floor, *csvPath); err != nil {
+	if err := run(*instPath, *floor, *csvPath, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "frontier:", err)
 		os.Exit(1)
 	}
 }
 
-func run(instPath string, floor float64, csvPath string) error {
+func run(instPath string, floor float64, csvPath string, parallel int) error {
 	if instPath == "" {
 		return fmt.Errorf("-instance is required")
 	}
@@ -43,7 +44,7 @@ func run(instPath string, floor float64, csvPath string) error {
 	if err := json.Unmarshal(b, &in); err != nil {
 		return err
 	}
-	pts, err := frontier.Compute(in.Chain, in.Platform)
+	pts, err := relpipe.FrontierWith(in, relpipe.Options{Parallelism: parallel})
 	if err != nil {
 		return err
 	}

@@ -31,7 +31,7 @@ func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	instPath := writeInstance(t, dir)
 	csvPath := filepath.Join(dir, "front.csv")
-	if err := run(instPath, 0.999, csvPath); err != nil {
+	if err := run(instPath, 0.999, csvPath, 2); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(csvPath)
@@ -45,10 +45,10 @@ func TestRunWritesCSV(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", 0, ""); err == nil {
+	if err := run("", 0, "", 0); err == nil {
 		t.Fatal("missing instance accepted")
 	}
-	if err := run("/nonexistent.json", 0, ""); err == nil {
+	if err := run("/nonexistent.json", 0, "", 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	relpipe optimize -instance inst.json [-period P] [-latency L] [-method auto] [-o sol.json]
+//	relpipe optimize -instance inst.json [-period P] [-latency L] [-method auto] [-parallel 0] [-o sol.json]
 //	relpipe evaluate -instance inst.json -solution sol.json
 //	relpipe generate [-tasks 15] [-procs 10] [-seed 1] [-het] [-o inst.json]
 //
@@ -49,7 +49,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  relpipe optimize -instance inst.json [-period P] [-latency L] [-method auto|dp|exact|ilp|heur-p|heur-l|best-heuristic] [-o sol.json]
+  relpipe optimize -instance inst.json [-period P] [-latency L] [-method auto|dp|exact|ilp|heur-p|heur-l|best-heuristic] [-parallel 0] [-o sol.json]
   relpipe evaluate -instance inst.json -solution sol.json
   relpipe generate [-tasks 15] [-procs 10] [-seed 1] [-het] [-o inst.json]`)
 }
@@ -85,6 +85,7 @@ func cmdOptimize(args []string) error {
 	period := fs.Float64("period", 0, "period bound (0 = unconstrained)")
 	latency := fs.Float64("latency", 0, "latency bound (0 = unconstrained)")
 	methodStr := fs.String("method", "auto", "optimization method")
+	parallel := fs.Int("parallel", 0, "solver parallelism (0 = GOMAXPROCS, 1 = sequential; the answer is identical for any value)")
 	out := fs.String("o", "-", "output file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,7 +101,8 @@ func cmdOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	sol, err := relpipe.Optimize(in, relpipe.Bounds{Period: *period, Latency: *latency}, method)
+	sol, err := relpipe.OptimizeWith(in, relpipe.Bounds{Period: *period, Latency: *latency}, method,
+		relpipe.Options{Parallelism: *parallel})
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	serve [-addr :8080] [-workers 0] [-queue 0] [-cache 1024] [-timeout 30s] [-grace 10s]
+//	      [-solver-parallel 0]
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, in-flight requests get up to the shutdown grace period to
@@ -36,6 +37,8 @@ func main() {
 	cacheSize := fs.Int("cache", 1024, "result cache entries (negative disables)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve timeout")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
+	solverParallel := fs.Int("solver-parallel", 0,
+		"per-request solver parallelism (0 = GOMAXPROCS/workers, negative = sequential)")
 	fs.Parse(os.Args[1:])
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -46,10 +49,11 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 	if err := run(ctx, ln, service.Options{
-		Workers:        *workers,
-		QueueSize:      *queue,
-		CacheSize:      *cacheSize,
-		RequestTimeout: *timeout,
+		Workers:           *workers,
+		QueueSize:         *queue,
+		CacheSize:         *cacheSize,
+		RequestTimeout:    *timeout,
+		SolverParallelism: *solverParallel,
 	}, *grace, log.Default()); err != nil {
 		log.Fatalf("serve: %v", err)
 	}

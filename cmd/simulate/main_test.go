@@ -28,23 +28,23 @@ func writeInstance(t *testing.T) string {
 
 func TestRunEndToEnd(t *testing.T) {
 	path := writeInstance(t)
-	if err := run(path, 200, 0, 2000, 1, 1e5, "auto"); err != nil {
+	if err := run(path, 200, 0, 2000, 1, 1e5, "auto", 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", 0, 0, 100, 1, 1, "auto"); err == nil {
+	if err := run("", 0, 0, 100, 1, 1, "auto", 1, 0); err == nil {
 		t.Fatal("missing instance accepted")
 	}
-	if err := run("/nonexistent.json", 0, 0, 100, 1, 1, "auto"); err == nil {
+	if err := run("/nonexistent.json", 0, 0, 100, 1, 1, "auto", 1, 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	path := writeInstance(t)
-	if err := run(path, 0, 0, 100, 1, 1, "bogus"); err == nil {
+	if err := run(path, 0, 0, 100, 1, 1, "bogus", 1, 0); err == nil {
 		t.Fatal("bogus method accepted")
 	}
-	if err := run(path, 0.001, 0, 100, 1, 1, "auto"); err == nil {
+	if err := run(path, 0.001, 0, 100, 1, 1, "auto", 1, 0); err == nil {
 		t.Fatal("infeasible bounds accepted")
 	}
 }

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -19,6 +20,27 @@ import (
 	"relpipe/internal/platform"
 	"relpipe/internal/rbd"
 )
+
+// Exec controls how a solver executes: the parallelism degree of its
+// sharded hot paths and an optional cancellation context. The zero value
+// runs at GOMAXPROCS with no cancellation. Parallelism never changes a
+// solver's answer — every parallel path reduces deterministically to the
+// sequential result (see internal/par).
+type Exec struct {
+	// Ctx cancels long solves mid-shard; nil means background.
+	Ctx context.Context
+	// Parallelism caps the solver's worker goroutines: 0 = GOMAXPROCS,
+	// 1 = sequential. The exact, DP and frontier solvers honour it; the
+	// heuristics and ILP are already sub-millisecond and run sequentially.
+	Parallelism int
+}
+
+func (e Exec) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
 
 // ErrInfeasible is returned when no mapping satisfies the bounds.
 var ErrInfeasible = errors.New("core: no feasible mapping")
@@ -111,6 +133,12 @@ const maxExactTasks = 22
 // under the bounds, with the requested method. It returns ErrInfeasible
 // (possibly wrapped) when no mapping fits.
 func Optimize(in Instance, b Bounds, m Method) (Solution, error) {
+	return OptimizeExec(in, b, m, Exec{})
+}
+
+// OptimizeExec is Optimize with explicit execution options (parallelism
+// degree, cancellation). The answer is identical for every Exec.
+func OptimizeExec(in Instance, b Bounds, m Method, ex Exec) (Solution, error) {
 	if err := in.Validate(); err != nil {
 		return Solution{}, err
 	}
@@ -154,12 +182,12 @@ func Optimize(in Instance, b Bounds, m Method) (Solution, error) {
 		if b.Latency > 0 {
 			return Solution{}, errors.New("core: DP ignores latency bounds (NP-complete, Theorem 3); use Exact or the heuristics")
 		}
-		return wrap(dp.OptimizeReliabilityPeriod(in.Chain, in.Platform, b.Period))
+		return wrap(dp.OptimizeReliabilityPeriodPar(ex.ctx(), in.Chain, in.Platform, b.Period, ex.Parallelism))
 	case Exact:
 		if len(in.Chain) > maxExactTasks {
 			return Solution{}, fmt.Errorf("core: Exact limited to %d tasks (2^{n-1} partitions); use the heuristics", maxExactTasks)
 		}
-		return wrap(exact.Optimal(in.Chain, in.Platform, b.Period, b.Latency))
+		return wrap(exact.OptimalPar(ex.ctx(), in.Chain, in.Platform, b.Period, b.Latency, ex.Parallelism))
 	case ILP:
 		model, err := ilp.BuildPaper(in.Chain, in.Platform, b.Period, b.Latency)
 		if err != nil {
@@ -204,10 +232,15 @@ func UnroutedFailProb(in Instance, m mapping.Mapping) (float64, error) {
 // minimum log-reliability (use math.Inf(-1) for unconstrained), on a
 // homogeneous platform (§5.2, converse problem).
 func MinPeriod(in Instance, minLogRel float64) (Solution, error) {
+	return MinPeriodExec(in, minLogRel, Exec{})
+}
+
+// MinPeriodExec is MinPeriod with explicit execution options.
+func MinPeriodExec(in Instance, minLogRel float64, ex Exec) (Solution, error) {
 	if err := in.Validate(); err != nil {
 		return Solution{}, err
 	}
-	mp, ev, err := dp.MinPeriodForReliability(in.Chain, in.Platform, minLogRel)
+	mp, ev, err := dp.MinPeriodForReliabilityPar(ex.ctx(), in.Chain, in.Platform, minLogRel, ex.Parallelism)
 	if err != nil {
 		if errors.Is(err, dp.ErrInfeasible) {
 			return Solution{}, fmt.Errorf("%w: %v", ErrInfeasible, err)

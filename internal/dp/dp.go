@@ -13,6 +13,7 @@
 package dp
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"relpipe/internal/failure"
 	"relpipe/internal/interval"
 	"relpipe/internal/mapping"
+	"relpipe/internal/par"
 	"relpipe/internal/platform"
 )
 
@@ -49,6 +51,17 @@ func OptimizeReliability(c chain.Chain, pl platform.Platform) (mapping.Mapping, 
 // only intervals whose compute and boundary communication times respect
 // the period bound.
 func OptimizeReliabilityPeriod(c chain.Chain, pl platform.Platform, period float64) (mapping.Mapping, mapping.Eval, error) {
+	return OptimizeReliabilityPeriodPar(context.Background(), c, pl, period, 1)
+}
+
+// OptimizeReliabilityPeriodPar is Algorithm 2 with the per-interval
+// candidate table — the log-reliability of every (first task, last task,
+// replication degree) triple, the transcendental-math hot spot of the
+// recurrence — evaluated on up to par.Degree(parallelism) goroutines.
+// Each table entry is an independent pure computation collected under
+// its own index and the recurrence itself stays sequential, so the
+// result is bit-identical to the sequential algorithm for every degree.
+func OptimizeReliabilityPeriodPar(ctx context.Context, c chain.Chain, pl platform.Platform, period float64, parallelism int) (mapping.Mapping, mapping.Eval, error) {
 	if err := c.Validate(); err != nil {
 		return mapping.Mapping{}, mapping.Eval{}, err
 	}
@@ -66,21 +79,43 @@ func OptimizeReliabilityPeriod(c chain.Chain, pl platform.Platform, period float
 	}
 	pre := chain.NewPrefix(c)
 
-	// stageLogRel(j, i, q) = log reliability of the interval of tasks
-	// [j, i-1] (0-based) replicated q times, or NaN if the interval
-	// violates the period bound.
-	stageLogRel := func(j, i, q int) float64 {
+	// The candidate table: for every pair j < i (the interval of tasks
+	// [j, i-1], 0-based) and every replication degree q in 1..k, the
+	// interval's log-reliability, or NaN when it violates the period
+	// bound. Pair (j, i) lives at triangular index i*(i-1)/2 + j; the
+	// pair list is built sequentially (trivial next to the
+	// transcendental work being parallelized) so workers just index it.
+	pairs := make([][2]int, 0, n*(n+1)/2)
+	for i := 1; i <= n; i++ {
+		for j := 0; j < i; j++ {
+			pairs = append(pairs, [2]int{j, i})
+		}
+	}
+	table, err := par.Map(ctx, parallelism, len(pairs), func(idx int) ([]float64, error) {
+		j, i := pairs[idx][0], pairs[idx][1]
 		w := pre.Work(j, i-1)
 		in := c.Out(j - 1)
 		out := c.Out(i - 1)
-		if period > 0 {
-			if pl.ComputeTime(0, w) > period ||
-				pl.CommTime(in) > period || pl.CommTime(out) > period {
-				return math.NaN()
+		row := make([]float64, k)
+		if period > 0 &&
+			(pl.ComputeTime(0, w) > period ||
+				pl.CommTime(in) > period || pl.CommTime(out) > period) {
+			for q := range row {
+				row[q] = math.NaN()
 			}
+			return row, nil
 		}
 		f := mapping.ReplicaFailProb(pl, 0, w, in, out)
-		return failure.LogRel(failure.Replicated(f, q))
+		for q := 1; q <= k; q++ {
+			row[q-1] = failure.LogRel(failure.Replicated(f, q))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return mapping.Mapping{}, mapping.Eval{}, err
+	}
+	stageLogRel := func(j, i, q int) float64 {
+		return table[i*(i-1)/2+j][q-1]
 	}
 
 	const unset = math.MaxInt32
@@ -193,30 +228,54 @@ func PeriodCandidates(c chain.Chain, pl platform.Platform) []float64 {
 // Algorithm 2 as the oracle. It returns the optimal mapping.
 // Use minLogRel = -Inf for pure period minimization.
 func MinPeriodForReliability(c chain.Chain, pl platform.Platform, minLogRel float64) (mapping.Mapping, mapping.Eval, error) {
+	return MinPeriodForReliabilityPar(context.Background(), c, pl, minLogRel, 1)
+}
+
+// MinPeriodForReliabilityPar is MinPeriodForReliability with each
+// Algorithm 2 oracle call running its candidate table on up to
+// par.Degree(parallelism) goroutines. The binary search itself is
+// inherently sequential; its probes and result are bit-identical to the
+// sequential solver for every degree.
+func MinPeriodForReliabilityPar(ctx context.Context, c chain.Chain, pl platform.Platform, minLogRel float64, parallelism int) (mapping.Mapping, mapping.Eval, error) {
 	if !pl.Homogeneous() {
 		return mapping.Mapping{}, mapping.Eval{}, ErrHeterogeneous
 	}
 	cands := PeriodCandidates(c, pl)
-	ok := func(P float64) (mapping.Mapping, mapping.Eval, bool) {
-		m, ev, err := OptimizeReliabilityPeriod(c, pl, P)
+	ok := func(P float64) (mapping.Mapping, mapping.Eval, bool, error) {
+		m, ev, err := OptimizeReliabilityPeriodPar(ctx, c, pl, P, parallelism)
 		if err != nil {
-			return mapping.Mapping{}, mapping.Eval{}, false
+			// Infeasibility at this probe just steers the search, but a
+			// cancellation must abort it.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return mapping.Mapping{}, mapping.Eval{}, false, err
+			}
+			return mapping.Mapping{}, mapping.Eval{}, false, nil
 		}
-		return m, ev, ev.LogRel >= minLogRel
+		return m, ev, ev.LogRel >= minLogRel, nil
 	}
 	lo, hi := 0, len(cands)-1
-	if _, _, feasible := ok(cands[hi]); !feasible {
+	if _, _, feasible, err := ok(cands[hi]); err != nil {
+		return mapping.Mapping{}, mapping.Eval{}, err
+	} else if !feasible {
 		return mapping.Mapping{}, mapping.Eval{}, ErrInfeasible
 	}
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if _, _, feasible := ok(cands[mid]); feasible {
+		feasible := false
+		var err error
+		if _, _, feasible, err = ok(cands[mid]); err != nil {
+			return mapping.Mapping{}, mapping.Eval{}, err
+		}
+		if feasible {
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
-	m, ev, _ := ok(cands[lo])
+	m, ev, _, err := ok(cands[lo])
+	if err != nil {
+		return mapping.Mapping{}, mapping.Eval{}, err
+	}
 	return m, ev, nil
 }
 

@@ -14,6 +14,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -21,6 +22,7 @@ import (
 	"relpipe/internal/chain"
 	"relpipe/internal/interval"
 	"relpipe/internal/mapping"
+	"relpipe/internal/par"
 	"relpipe/internal/platform"
 )
 
@@ -43,6 +45,16 @@ type Profile struct {
 // Profiles enumerates every partition of c with at most p intervals and
 // returns its profile. The platform must be homogeneous.
 func Profiles(c chain.Chain, pl platform.Platform) ([]Profile, error) {
+	return ProfilesPar(context.Background(), c, pl, 1)
+}
+
+// ProfilesPar is Profiles with the enumeration sharded over the
+// 2^{n-1} partition indices on up to par.Degree(parallelism) goroutines
+// (see internal/par; 1 = sequential, 0 = GOMAXPROCS). Shard outputs are
+// concatenated in shard order, so the result is bit-identical to the
+// sequential enumeration for every degree. ctx cancels the enumeration
+// mid-shard (nil = background).
+func ProfilesPar(ctx context.Context, c chain.Chain, pl platform.Platform, parallelism int) ([]Profile, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,33 +64,52 @@ func Profiles(c chain.Chain, pl platform.Platform) ([]Profile, error) {
 	if !pl.Homogeneous() {
 		return nil, errors.New("exact: heterogeneous platform; the exact solver covers the homogeneous case")
 	}
-	var out []Profile
 	n := len(c)
-	interval.Visit(n, func(parts interval.Partition) bool {
-		if len(parts) > pl.P() {
-			return true // not enough processors for one per interval
-		}
-		m, err := alloc.Greedy(c, pl, parts)
-		if err != nil {
-			return true
-		}
-		ev, err := mapping.Evaluate(c, pl, m)
-		if err != nil {
-			return true
-		}
-		counts := make([]int, len(parts))
-		for j := range m.Procs {
-			counts[j] = len(m.Procs[j])
-		}
-		out = append(out, Profile{
-			Ends:    parts.Clone().Ends(),
-			Period:  ev.WorstPeriod,
-			Latency: ev.WorstLatency,
-			LogRel:  ev.LogRel,
-			Counts:  counts,
+	chunks, err := par.MapShards(ctx, parallelism, interval.Count(n),
+		func(ctx context.Context, s par.Shard) ([]Profile, error) {
+			var local []Profile
+			var tick int
+			var stop error
+			interval.VisitRange(n, s.Lo, s.Hi, func(parts interval.Partition) bool {
+				if tick++; tick&511 == 0 {
+					if err := ctx.Err(); err != nil {
+						stop = err
+						return false
+					}
+				}
+				if len(parts) > pl.P() {
+					return true // not enough processors for one per interval
+				}
+				m, err := alloc.Greedy(c, pl, parts)
+				if err != nil {
+					return true
+				}
+				ev, err := mapping.Evaluate(c, pl, m)
+				if err != nil {
+					return true
+				}
+				counts := make([]int, len(parts))
+				for j := range m.Procs {
+					counts[j] = len(m.Procs[j])
+				}
+				local = append(local, Profile{
+					Ends:    parts.Clone().Ends(),
+					Period:  ev.WorstPeriod,
+					Latency: ev.WorstLatency,
+					LogRel:  ev.LogRel,
+					Counts:  counts,
+				})
+				return true
+			})
+			return local, stop
 		})
-		return true
-	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Profile
+	for _, ch := range chunks {
+		out = append(out, ch...)
+	}
 	return out, nil
 }
 
@@ -87,24 +118,42 @@ func Profiles(c chain.Chain, pl platform.Platform) ([]Profile, error) {
 // (with at least one strict). Sweeping bounds over the Pareto set gives
 // the same answers as sweeping the full set, orders of magnitude faster.
 func Pareto(ps []Profile) []Profile {
-	var out []Profile
-	for i, a := range ps {
-		dominated := false
+	out, err := ParetoPar(context.Background(), ps, 1)
+	if err != nil {
+		// Unreachable: the sequential dominance filter cannot fail.
+		panic(err)
+	}
+	return out
+}
+
+// ParetoPar is Pareto with the O(n²) dominance checks sharded over the
+// profiles (each profile's dominated-test is independent); the surviving
+// profiles keep their input order, so the result is bit-identical to
+// Pareto for every degree.
+func ParetoPar(ctx context.Context, ps []Profile, parallelism int) ([]Profile, error) {
+	dominated, err := par.Map(ctx, parallelism, len(ps), func(i int) (bool, error) {
+		a := ps[i]
 		for j, b := range ps {
 			if i == j {
 				continue
 			}
 			if b.Period <= a.Period && b.Latency <= a.Latency && b.LogRel >= a.LogRel &&
 				(b.Period < a.Period || b.Latency < a.Latency || b.LogRel > a.LogRel) {
-				dominated = true
-				break
+				return true, nil
 			}
 		}
-		if !dominated {
-			out = append(out, a)
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Profile
+	for i, d := range dominated {
+		if !d {
+			out = append(out, ps[i])
 		}
 	}
-	return out
+	return out, nil
 }
 
 // BestUnder returns the index of the most reliable profile meeting the
@@ -134,7 +183,16 @@ func Materialize(p Profile) mapping.Mapping {
 // platform pl subject to the period and latency bounds (<= 0 for
 // unconstrained). It is a global optimum (see the package comment).
 func Optimal(c chain.Chain, pl platform.Platform, period, latency float64) (mapping.Mapping, mapping.Eval, error) {
-	ps, err := Profiles(c, pl)
+	return OptimalPar(context.Background(), c, pl, period, latency, 1)
+}
+
+// OptimalPar is Optimal with the partition enumeration sharded on up to
+// par.Degree(parallelism) goroutines. BestUnder keeps the first profile
+// under strict improvement and the shard-ordered enumeration preserves
+// the sequential profile order, so the winning mapping is bit-identical
+// to Optimal's for every degree.
+func OptimalPar(ctx context.Context, c chain.Chain, pl platform.Platform, period, latency float64, parallelism int) (mapping.Mapping, mapping.Eval, error) {
+	ps, err := ProfilesPar(ctx, c, pl, parallelism)
 	if err != nil {
 		return mapping.Mapping{}, mapping.Eval{}, err
 	}

@@ -1,12 +1,14 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"math"
 
 	"relpipe/internal/chain"
 	"relpipe/internal/interval"
 	"relpipe/internal/mapping"
+	"relpipe/internal/par"
 	"relpipe/internal/platform"
 )
 
@@ -21,6 +23,23 @@ import (
 // Feasibility uses worst-case period and latency; bounds ≤ 0 are
 // unconstrained.
 func OptimalHet(c chain.Chain, pl platform.Platform, period, latency float64) (mapping.Mapping, mapping.Eval, error) {
+	return OptimalHetPar(context.Background(), c, pl, period, latency, 1)
+}
+
+// hetBest is one shard's incumbent of the heterogeneous search.
+type hetBest struct {
+	logRel float64
+	m      mapping.Mapping
+	ev     mapping.Eval
+}
+
+// OptimalHetPar is OptimalHet with the partition space sharded on up to
+// par.Degree(parallelism) goroutines. Each shard keeps the first
+// strictly-best mapping of its own contiguous partition range; merging
+// the shard incumbents in shard order under the same strict comparison
+// reproduces exactly the mapping the sequential scan keeps, so the
+// result is bit-identical for every degree.
+func OptimalHetPar(ctx context.Context, c chain.Chain, pl platform.Platform, period, latency float64, parallelism int) (mapping.Mapping, mapping.Eval, error) {
 	if err := c.Validate(); err != nil {
 		return mapping.Mapping{}, mapping.Eval{}, err
 	}
@@ -32,70 +51,99 @@ func OptimalHet(c chain.Chain, pl platform.Platform, period, latency float64) (m
 	if n > 12 || p > 8 {
 		return mapping.Mapping{}, mapping.Eval{}, errors.New("exact: OptimalHet limited to n ≤ 12 tasks and p ≤ 8 processors; use the heuristics")
 	}
-	bestLog := math.Inf(-1)
-	var best mapping.Mapping
-	var bestEv mapping.Eval
-
-	assign := make([]int, p) // processor → interval index, -1 unused
-	counts := make([]int, n)
-	interval.Visit(n, func(parts interval.Partition) bool {
-		m := len(parts)
-		if m > p {
-			return true
-		}
-		for j := range counts[:m] {
-			counts[j] = 0
-		}
-		var rec func(u int)
-		rec = func(u int) {
-			if u == p {
-				for j := 0; j < m; j++ {
-					if counts[j] == 0 {
+	bests, err := par.MapShards(ctx, parallelism, interval.Count(n),
+		func(ctx context.Context, s par.Shard) (hetBest, error) {
+			best := hetBest{logRel: math.Inf(-1)}
+			var stop error
+			var leaves int
+			assign := make([]int, p) // processor → interval index, -1 unused
+			counts := make([]int, n)
+			interval.VisitRange(n, s.Lo, s.Hi, func(parts interval.Partition) bool {
+				if err := ctx.Err(); err != nil {
+					stop = err
+					return false
+				}
+				m := len(parts)
+				if m > p {
+					return true
+				}
+				for j := range counts[:m] {
+					counts[j] = 0
+				}
+				// One partition's assignment recursion visits up to
+				// (m+1)^p leaves, so cancellation is polled inside it
+				// too — a single ctx check per partition could lag by
+				// the whole exponential enumeration.
+				var rec func(u int)
+				rec = func(u int) {
+					if stop != nil {
 						return
 					}
-				}
-				mp := mapping.Mapping{Parts: parts, Procs: make([][]int, m)}
-				for v, j := range assign {
-					if j >= 0 {
-						mp.Procs[j] = append(mp.Procs[j], v)
+					if u == p {
+						if leaves++; leaves&4095 == 0 {
+							if err := ctx.Err(); err != nil {
+								stop = err
+								return
+							}
+						}
+						for j := 0; j < m; j++ {
+							if counts[j] == 0 {
+								return
+							}
+						}
+						mp := mapping.Mapping{Parts: parts, Procs: make([][]int, m)}
+						for v, j := range assign {
+							if j >= 0 {
+								mp.Procs[j] = append(mp.Procs[j], v)
+							}
+						}
+						ev, err := mapping.Evaluate(c, pl, mp)
+						if err != nil {
+							return
+						}
+						if period > 0 && ev.WorstPeriod > period {
+							return
+						}
+						if latency > 0 && ev.WorstLatency > latency {
+							return
+						}
+						if ev.LogRel > best.logRel {
+							best.logRel = ev.LogRel
+							best.m = mp.Clone()
+							best.m.Parts = parts.Clone()
+							best.ev = ev
+						}
+						return
 					}
+					assign[u] = -1
+					rec(u + 1)
+					for j := 0; j < m; j++ {
+						if counts[j] >= pl.MaxReplicas {
+							continue
+						}
+						assign[u] = j
+						counts[j]++
+						rec(u + 1)
+						counts[j]--
+					}
+					assign[u] = -1
 				}
-				ev, err := mapping.Evaluate(c, pl, mp)
-				if err != nil {
-					return
-				}
-				if period > 0 && ev.WorstPeriod > period {
-					return
-				}
-				if latency > 0 && ev.WorstLatency > latency {
-					return
-				}
-				if ev.LogRel > bestLog {
-					bestLog = ev.LogRel
-					best = mp.Clone()
-					best.Parts = parts.Clone()
-					bestEv = ev
-				}
-				return
-			}
-			assign[u] = -1
-			rec(u + 1)
-			for j := 0; j < m; j++ {
-				if counts[j] >= pl.MaxReplicas {
-					continue
-				}
-				assign[u] = j
-				counts[j]++
-				rec(u + 1)
-				counts[j]--
-			}
-			assign[u] = -1
+				rec(0)
+				return stop == nil
+			})
+			return best, stop
+		})
+	if err != nil {
+		return mapping.Mapping{}, mapping.Eval{}, err
+	}
+	winner := hetBest{logRel: math.Inf(-1)}
+	for _, b := range bests {
+		if b.logRel > winner.logRel {
+			winner = b
 		}
-		rec(0)
-		return true
-	})
-	if math.IsInf(bestLog, -1) {
+	}
+	if math.IsInf(winner.logRel, -1) {
 		return mapping.Mapping{}, mapping.Eval{}, ErrInfeasible
 	}
-	return best, bestEv, nil
+	return winner.m, winner.ev, nil
 }

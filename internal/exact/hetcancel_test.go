@@ -1,0 +1,35 @@
+package exact
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/platform"
+	"relpipe/internal/rng"
+)
+
+func TestOptimalHetParCancelsMidRecursion(t *testing.T) {
+	c := chain.PaperRandom(rng.New(1), 12)
+	pl := platform.PaperHomogeneous(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := OptimalHetPar(ctx, c, pl, 0, 0, 2)
+		done <- err
+	}()
+	time.Sleep(200 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Log("solve finished before cancellation; nothing to assert")
+		} else if lag := time.Since(start); lag > 3*time.Second {
+			t.Fatalf("cancellation lag %v, want prompt", lag)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("OptimalHetPar did not observe cancellation")
+	}
+}

@@ -17,6 +17,7 @@
 package expfig
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -25,6 +26,7 @@ import (
 	"relpipe/internal/exact"
 	"relpipe/internal/failure"
 	"relpipe/internal/heur"
+	"relpipe/internal/par"
 	"relpipe/internal/platform"
 	"relpipe/internal/rng"
 )
@@ -46,6 +48,11 @@ type Config struct {
 	// speed-5 comparison platform) reproduces that ramp. See
 	// EXPERIMENTS.md.
 	HetSpeedMax float64
+	// Parallelism caps the goroutines used to build instances and sweep
+	// bounds (0 = GOMAXPROCS, 1 = sequential). Instance seeds are drawn
+	// sequentially up front and every sweep point writes its own index,
+	// so figures are bit-identical for any value.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,20 +110,30 @@ type homInstance struct {
 }
 
 // buildHom precomputes profiles and heuristic candidates for every
-// instance of the homogeneous experiments.
+// instance of the homogeneous experiments. Instances build in parallel:
+// their generators are split off the master sequentially first, so the
+// result is bit-identical to a sequential build for any parallelism.
 func buildHom(cfg Config) []homInstance {
 	master := rng.New(cfg.Seed)
+	rs := make([]*rng.Rand, cfg.Instances)
+	for i := range rs {
+		rs[i] = master.Split()
+	}
 	pl := platform.PaperHomogeneous(cfg.Procs)
-	out := make([]homInstance, cfg.Instances)
-	for i := range out {
-		c := chain.PaperRandom(master.Split(), cfg.Tasks)
+	out, err := par.Map(context.Background(), cfg.Parallelism, cfg.Instances, func(i int) (homInstance, error) {
+		c := chain.PaperRandom(rs[i], cfg.Tasks)
 		profiles, err := exact.Profiles(c, pl)
 		if err != nil {
 			panic(fmt.Sprintf("expfig: %v", err)) // impossible with valid generators
 		}
-		out[i].optimal = exact.Pareto(profiles)
-		out[i].heurL = heurCandidates(c, pl, true)
-		out[i].heurP = heurCandidates(c, pl, false)
+		return homInstance{
+			optimal: exact.Pareto(profiles),
+			heurL:   heurCandidates(c, pl, true),
+			heurP:   heurCandidates(c, pl, false),
+		}, nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("expfig: %v", err)) // unreachable: the build never errors
 	}
 	return out
 }
@@ -168,7 +185,7 @@ func bestCandidate(cs []candidate, period, latency float64) (float64, bool) {
 // homSweep evaluates the three §8.1 curves over the given (P, L) pairs
 // and returns the solution-count figure and the failure-probability
 // figure.
-func homSweep(id1, id2, title1, title2, xlabel string, xs, periods, latencies []float64, insts []homInstance) (Figure, Figure) {
+func homSweep(id1, id2, title1, title2, xlabel string, xs, periods, latencies []float64, insts []homInstance, parallelism int) (Figure, Figure) {
 	labels := []string{"ILP", "Heur-L", "Heur-P"}
 	counts := make([][]float64, 3)
 	fails := make([][]float64, 3)
@@ -176,7 +193,7 @@ func homSweep(id1, id2, title1, title2, xlabel string, xs, periods, latencies []
 		counts[s] = make([]float64, len(xs))
 		fails[s] = make([]float64, len(xs))
 	}
-	for xi := range xs {
+	sweepPoints(parallelism, len(xs), func(xi int) {
 		P, L := periods[xi], latencies[xi]
 		var nOpt, nL, nP int
 		var fOpt, fL, fP float64 // failure sums over the "both" set
@@ -209,7 +226,7 @@ func homSweep(id1, id2, title1, title2, xlabel string, xs, periods, latencies []
 		} else {
 			fails[0][xi], fails[1][xi], fails[2][xi] = math.NaN(), math.NaN(), math.NaN()
 		}
-	}
+	})
 	mk := func(id, title, ylabel string, ylog bool, ys [][]float64) Figure {
 		f := Figure{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel, YLog: ylog}
 		for s := range labels {
@@ -242,7 +259,7 @@ func Fig6and7(cfg Config) (Figure, Figure) {
 	return homSweep("fig06", "fig07",
 		"Number of solutions for L=750 (homogeneous)",
 		"Average failure probability for L=750 (homogeneous)",
-		"bound on period", xs, xs, lat, insts)
+		"bound on period", xs, xs, lat, insts, cfg.Parallelism)
 }
 
 // Fig8and9 reproduces Figures 8 and 9: latency sweep with P = 250.
@@ -257,7 +274,7 @@ func Fig8and9(cfg Config) (Figure, Figure) {
 	return homSweep("fig08", "fig09",
 		"Number of solutions for P=250 (homogeneous)",
 		"Average failure probability for P=250 (homogeneous)",
-		"bound on latency", xs, per, xs, insts)
+		"bound on latency", xs, per, xs, insts, cfg.Parallelism)
 }
 
 // Fig10and11 reproduces Figures 10 and 11: linked bounds L = 3P.
@@ -272,7 +289,7 @@ func Fig10and11(cfg Config) (Figure, Figure) {
 	return homSweep("fig10", "fig11",
 		"Number of solutions for L=3P (homogeneous)",
 		"Average failure probability for L=3P (homogeneous)",
-		"bound on period", xs, xs, lat, insts)
+		"bound on period", xs, xs, lat, insts, cfg.Parallelism)
 }
 
 // hetInstance pairs one chain with its heterogeneous platform and the
@@ -294,8 +311,24 @@ func buildHet(cfg Config) []hetInstance {
 	return out
 }
 
+// sweepPoints evaluates one figure pair's sweep with each (P, L) point
+// running independently on up to par.Degree(parallelism) goroutines.
+// Every point writes only its own column index, so the figures are
+// bit-identical for any degree.
+func sweepPoints(parallelism, points int, eval func(xi int)) {
+	err := par.Run(context.Background(), parallelism, points, func(ctx context.Context, s par.Shard) error {
+		for xi := s.Lo; xi < s.Hi; xi++ {
+			eval(xi)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("expfig: %v", err)) // unreachable: eval never errors
+	}
+}
+
 // hetSweep evaluates the four §8.2 curves (Heur-L/Heur-P × HET/HOM).
-func hetSweep(id1, id2, title1, title2, xlabel string, xs, periods, latencies []float64, insts []hetInstance) (Figure, Figure) {
+func hetSweep(id1, id2, title1, title2, xlabel string, xs, periods, latencies []float64, insts []hetInstance, parallelism int) (Figure, Figure) {
 	labels := []string{"Heur-L_HET", "Heur-P_HET", "Heur-L_HOM", "Heur-P_HOM"}
 	counts := make([][]float64, 4)
 	fails := make([][]float64, 4)
@@ -310,7 +343,7 @@ func hetSweep(id1, id2, title1, title2, xlabel string, xs, periods, latencies []
 	variants := []variant{
 		{heur.HeurL, true}, {heur.HeurP, true}, {heur.HeurL, false}, {heur.HeurP, false},
 	}
-	for xi := range xs {
+	sweepPoints(parallelism, len(xs), func(xi int) {
 		opts := heur.Options{Period: periods[xi], Latency: latencies[xi]}
 		for s, v := range variants {
 			n := 0
@@ -337,7 +370,7 @@ func hetSweep(id1, id2, title1, title2, xlabel string, xs, periods, latencies []
 				fails[s][xi] = math.NaN()
 			}
 		}
-	}
+	})
 	mk := func(id, title, ylabel string, ylog bool, ys [][]float64) Figure {
 		f := Figure{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel, YLog: ylog}
 		for s := range labels {
@@ -362,7 +395,7 @@ func Fig12and13(cfg Config) (Figure, Figure) {
 	return hetSweep("fig12", "fig13",
 		"Number of solutions for L=150 (het vs hom)",
 		"Average failure probability for L=150 (het vs hom)",
-		"period", xs, xs, lat, insts)
+		"period", xs, xs, lat, insts, cfg.Parallelism)
 }
 
 // Fig14and15 reproduces Figures 14 and 15: latency sweep with P = 50.
@@ -377,7 +410,7 @@ func Fig14and15(cfg Config) (Figure, Figure) {
 	return hetSweep("fig14", "fig15",
 		"Number of solutions for P=50 (het vs hom)",
 		"Average failure probability for P=50 (het vs hom)",
-		"latency", xs, per, xs, insts)
+		"latency", xs, per, xs, insts, cfg.Parallelism)
 }
 
 // All runs every figure in order 6..15.

@@ -8,6 +8,7 @@
 package frontier
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -41,11 +42,25 @@ func (p Point) Mapping() mapping.Mapping {
 // underlying solver enumerates partitions with optimal allocation, which
 // is exact there).
 func Compute(c chain.Chain, pl platform.Platform) ([]Point, error) {
-	profiles, err := exact.Profiles(c, pl)
+	return ComputePar(context.Background(), c, pl, 1)
+}
+
+// ComputePar is Compute with the two heavy sweep stages — partition
+// enumeration and Pareto dominance filtering — sharded on up to
+// par.Degree(parallelism) goroutines. Both stages collect their results
+// in input order and the final sort sees an identical slice, so the
+// frontier is bit-identical to Compute's for every degree. The
+// profile-to-point conversion is a field copy per survivor, far below
+// goroutine overhead, and stays a plain loop.
+func ComputePar(ctx context.Context, c chain.Chain, pl platform.Platform, parallelism int) ([]Point, error) {
+	profiles, err := exact.ProfilesPar(ctx, c, pl, parallelism)
 	if err != nil {
 		return nil, err
 	}
-	pareto := exact.Pareto(profiles)
+	pareto, err := exact.ParetoPar(ctx, profiles, parallelism)
+	if err != nil {
+		return nil, err
+	}
 	pts := make([]Point, len(pareto))
 	for i, pr := range pareto {
 		pts[i] = Point{

@@ -1,0 +1,45 @@
+package frontier
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/platform"
+	"relpipe/internal/rng"
+)
+
+// TestComputeParMatchesSequential asserts the sharded frontier sweep —
+// enumeration, dominance filter, point evaluation — returns the exact
+// sequential frontier (same points, same order, same floats) on
+// randomized instances for every degree.
+func TestComputeParMatchesSequential(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		c := chain.PaperRandom(rng.New(seed), 11)
+		pl := platform.PaperHomogeneous(8)
+		want, err := Compute(c, pl)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, p := range []int{1, 2, 8} {
+			got, err := ComputePar(context.Background(), c, pl, p)
+			if err != nil {
+				t.Fatalf("seed %d, P=%d: %v", seed, p, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d, P=%d: parallel frontier differs from sequential", seed, p)
+			}
+		}
+	}
+}
+
+func TestComputeParCancellation(t *testing.T) {
+	c := chain.PaperRandom(rng.New(1), 14)
+	pl := platform.PaperHomogeneous(10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputePar(ctx, c, pl, 4); err == nil {
+		t.Fatal("cancelled frontier sweep returned no error")
+	}
+}

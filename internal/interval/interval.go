@@ -131,16 +131,27 @@ func (p Partition) SumComm(c chain.Chain) float64 {
 // against accidental exponential blow-up: the exact solver is meant for
 // paper-scale instances.
 func Visit(n int, fn func(Partition) bool) {
+	VisitRange(n, 0, Count(n), fn)
+}
+
+// VisitRange enumerates the partitions with index in [lo, hi) of the
+// 2^{n-1}-partition space, in index order. The index of a partition is
+// its cut bitmask (bit i set means "cut after task i"), so VisitRange
+// over contiguous ranges shards the Visit enumeration exactly: visiting
+// [0, k) then [k, Count(n)) reproduces Visit's order. Same reuse and
+// early-stop contract as Visit.
+func VisitRange(n, lo, hi int, fn func(Partition) bool) {
 	if n <= 0 {
 		panic("interval: Visit with n <= 0")
 	}
 	if n > 30 {
 		panic("interval: Visit beyond n=30 is intractable; use the heuristics")
 	}
-	// Each of the n-1 inner boundaries is either a cut or not; iterate
-	// over bitmasks. Bit i set means "cut after task i".
+	if lo < 0 || hi > Count(n) || lo > hi {
+		panic(fmt.Sprintf("interval: VisitRange [%d,%d) outside [0,%d]", lo, hi, Count(n)))
+	}
 	buf := make(Partition, 0, n)
-	for mask := uint32(0); mask < 1<<(n-1); mask++ {
+	for mask := uint32(lo); mask < uint32(hi); mask++ {
 		buf = buf[:0]
 		first := 0
 		for i := 0; i < n-1; i++ {

@@ -1,0 +1,226 @@
+// Package par is the shared parallel-execution kernel of the solvers:
+// bounded work-sharding over index ranges with deterministic, ordered
+// result collection and context cancellation.
+//
+// Every helper takes an explicit parallelism degree (0 = GOMAXPROCS,
+// 1 = run inline on the caller's goroutine) and guarantees that the
+// *results* are bit-identical to a sequential run: work is split into
+// contiguous shards of the index range, each shard's output is collected
+// under its shard index, and reductions happen in shard order on the
+// caller's goroutine. Only scheduling — never output — depends on the
+// degree, which is what lets the differential tests assert parallel ==
+// sequential for every solver built on this package.
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Degree resolves a requested parallelism: 0 means GOMAXPROCS and
+// negative values mean sequential (1) — the same convention every knob
+// of the stack uses (relpipe.Options.Parallelism, the CLIs' -parallel,
+// cmd/serve's -solver-parallel). The result is always at least 1.
+func Degree(parallelism int) int {
+	switch {
+	case parallelism > 0:
+		return parallelism
+	case parallelism < 0:
+		return 1
+	default:
+		return runtime.GOMAXPROCS(0)
+	}
+}
+
+// Shard is a contiguous half-open index range [Lo, Hi).
+type Shard struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the shard.
+func (s Shard) Len() int { return s.Hi - s.Lo }
+
+// Split divides [0, n) into at most p contiguous, non-empty, near-equal
+// shards in ascending order. It returns nil when n <= 0.
+func Split(n, p int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	shards := make([]Shard, p)
+	base, rem := n/p, n%p
+	lo := 0
+	for i := range shards {
+		size := base
+		if i < rem {
+			size++
+		}
+		shards[i] = Shard{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return shards
+}
+
+// oversplit picks the shard count for a degree-p run over n indices:
+// a few shards per worker so uneven per-index costs still balance, but
+// never more shards than indices.
+func oversplit(p, n int) int {
+	if p <= 1 {
+		return 1
+	}
+	return min(n, 4*p)
+}
+
+// runShards executes fn(i, shards[i]) for every shard on at most p
+// goroutines (inline when p == 1). The context handed to fn is cancelled
+// as soon as any shard fails, so shards can stop mid-range by polling it.
+// After all workers drain, the parent context's error wins if it is
+// cancelled; otherwise the first real (non-cancellation) shard error in
+// shard order is returned.
+func runShards(ctx context.Context, p int, shards []Shard, fn func(ctx context.Context, i int, s Shard) error) error {
+	if len(shards) == 0 {
+		return ctx.Err()
+	}
+	if p == 1 || len(shards) == 1 {
+		for i, s := range shards {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(shards))
+	panics := make([]any, len(shards))
+	var next atomic.Int64
+	workers := min(p, len(shards))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) || runCtx.Err() != nil {
+					return
+				}
+				if err := runShard(runCtx, i, shards[i], fn, panics); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// A panicking shard re-panics on the caller's goroutine (lowest shard
+	// first), preserving sequential panic semantics: callers that contain
+	// solver panics with recover — the service worker pool — keep working
+	// when the panic happened on a shard worker instead of crashing the
+	// whole process.
+	for _, pv := range panics {
+		if pv != nil {
+			panic(pv)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return nil
+}
+
+// errShardPanic marks a shard stopped by a panic; the recorded panic
+// value is re-raised on the caller's goroutine after the workers drain.
+var errShardPanic = errors.New("par: shard panicked")
+
+// runShard runs one shard, converting a panic into an error (so the
+// siblings cancel promptly) while recording the panic value for
+// re-raise.
+func runShard(ctx context.Context, i int, s Shard, fn func(ctx context.Context, i int, s Shard) error, panics []any) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = r
+			err = errShardPanic
+		}
+	}()
+	return fn(ctx, i, s)
+}
+
+// Run shards [0, n) and executes fn on each shard with at most
+// Degree(parallelism) goroutines. fn must only write to state it owns
+// (or to disjoint indices of shared slices). A nil ctx means background.
+func Run(ctx context.Context, parallelism, n int, fn func(ctx context.Context, s Shard) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := Degree(parallelism)
+	return runShards(ctx, p, Split(n, oversplit(p, n)),
+		func(ctx context.Context, _ int, s Shard) error { return fn(ctx, s) })
+}
+
+// MapShards shards [0, n), applies fn to each shard, and returns the
+// per-shard results in shard order — concatenating them reproduces the
+// sequential iteration order exactly, whatever the degree.
+func MapShards[T any](ctx context.Context, parallelism, n int, fn func(ctx context.Context, s Shard) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := Degree(parallelism)
+	shards := Split(n, oversplit(p, n))
+	out := make([]T, len(shards))
+	err := runShards(ctx, p, shards, func(ctx context.Context, i int, s Shard) error {
+		v, err := fn(ctx, s)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Map applies fn to every index of [0, n) on at most Degree(parallelism)
+// goroutines and returns the results in index order. Cancellation is
+// polled between indices, so long-running fns should also watch the
+// context themselves.
+func Map[T any](ctx context.Context, parallelism, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(ctx, parallelism, n, func(ctx context.Context, s Shard) error {
+		for i := s.Lo; i < s.Hi; i++ {
+			if i&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			v, err := fn(i)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,236 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDegree(t *testing.T) {
+	if got := Degree(3); got != 3 {
+		t.Errorf("Degree(3) = %d", got)
+	}
+	if got := Degree(0); got < 1 {
+		t.Errorf("Degree(0) = %d, want >= 1", got)
+	}
+	if got := Degree(-5); got != 1 {
+		t.Errorf("Degree(-5) = %d, want 1 (negative means sequential)", got)
+	}
+}
+
+func TestSplitTilesRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, p := range []int{-1, 1, 2, 3, 8, 2000} {
+			shards := Split(n, p)
+			if n <= 0 {
+				if shards != nil {
+					t.Fatalf("Split(%d,%d) = %v, want nil", n, p, shards)
+				}
+				continue
+			}
+			next := 0
+			for _, s := range shards {
+				if s.Lo != next {
+					t.Fatalf("Split(%d,%d): shard %v starts at %d, want %d", n, p, s, s.Lo, next)
+				}
+				if s.Len() <= 0 {
+					t.Fatalf("Split(%d,%d): empty shard %v", n, p, s)
+				}
+				next = s.Hi
+			}
+			if next != n {
+				t.Fatalf("Split(%d,%d) covers [0,%d), want [0,%d)", n, p, next, n)
+			}
+			if want := max(1, min(n, p)); len(shards) != want {
+				t.Fatalf("Split(%d,%d): %d shards, want %d", n, p, len(shards), want)
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	const n = 1000
+	for _, p := range []int{1, 2, 8} {
+		got, err := Map(context.Background(), p, n, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if len(got) != n {
+			t.Fatalf("p=%d: len = %d", p, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("p=%d: got[%d] = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapShardsConcatEqualsSequential(t *testing.T) {
+	const n = 257
+	want := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		want = append(want, 3*i+1)
+	}
+	for _, p := range []int{1, 2, 8} {
+		chunks, err := MapShards(context.Background(), p, n, func(ctx context.Context, s Shard) ([]int, error) {
+			local := make([]int, 0, s.Len())
+			for i := s.Lo; i < s.Hi; i++ {
+				local = append(local, 3*i+1)
+			}
+			return local, nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		var got []int
+		for _, ch := range chunks {
+			got = append(got, ch...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("p=%d: len = %d, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: got[%d] = %d, want %d", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunReturnsErrorOfFailingShard(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		errWant := errors.New("boom")
+		err := Run(context.Background(), p, 100, func(ctx context.Context, s Shard) error {
+			if s.Lo == 0 {
+				return fmt.Errorf("shard at 0: %w", errWant)
+			}
+			return nil
+		})
+		if !errors.Is(err, errWant) {
+			t.Errorf("p=%d: err = %v, want %v", p, err, errWant)
+		}
+	}
+}
+
+// TestRunStopsPromptlyMidShard proves cancellation interrupts workers in
+// the middle of a shard: one shard fails immediately, the others block
+// until the context the failure cancels unblocks them. Without prompt
+// mid-shard cancellation this test times out.
+func TestRunStopsPromptlyMidShard(t *testing.T) {
+	errBoom := errors.New("boom")
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(context.Background(), 4, 64, func(ctx context.Context, s Shard) error {
+			if s.Lo == 0 {
+				return errBoom
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(30 * time.Second):
+				return errors.New("shard was not cancelled")
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("err = %v, want %v", err, errBoom)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after a shard failure")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt", elapsed)
+	}
+}
+
+// TestRunHonorsParentCancellation proves an external cancel stops the
+// run and surfaces context.Canceled, for every degree.
+func TestRunHonorsParentCancellation(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		done := make(chan error, 1)
+		go func() {
+			done <- Run(ctx, p, 1024, func(ctx context.Context, s Shard) error {
+				if ran.Add(1) == 1 {
+					cancel() // cancel from inside the first shard
+				}
+				<-ctx.Done()
+				return ctx.Err()
+			})
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("p=%d: err = %v, want context.Canceled", p, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("p=%d: Run did not observe parent cancellation", p)
+		}
+		cancel()
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	errWant := errors.New("bad index")
+	for _, p := range []int{1, 2, 8} {
+		_, err := Map(context.Background(), p, 500, func(i int) (int, error) {
+			if i == 137 {
+				return 0, errWant
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errWant) {
+			t.Errorf("p=%d: err = %v, want %v", p, err, errWant)
+		}
+	}
+}
+
+// TestRunRepanicsOnCallerGoroutine proves a shard panic surfaces as a
+// panic on the caller's goroutine — recoverable by the caller exactly
+// like a sequential panic — instead of crashing the process from a
+// worker goroutine.
+func TestRunRepanicsOnCallerGoroutine(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "shard boom" {
+					t.Errorf("p=%d: recovered %v, want \"shard boom\"", p, r)
+				}
+			}()
+			Run(context.Background(), p, 64, func(ctx context.Context, s Shard) error {
+				if s.Lo == 0 {
+					panic("shard boom")
+				}
+				return nil
+			})
+			t.Errorf("p=%d: Run returned instead of panicking", p)
+		}()
+	}
+}
+
+func TestRunEmptyRange(t *testing.T) {
+	called := false
+	if err := Run(context.Background(), 4, 0, func(ctx context.Context, s Shard) error {
+		called = true
+		return nil
+	}); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+	out, err := Map(context.Background(), 4, 0, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map over empty range: %v, %v", out, err)
+	}
+}

@@ -42,8 +42,8 @@ type poolResult struct {
 	err error
 }
 
-// NewPool starts a pool of workers (≤ 1 defaults to GOMAXPROCS) with a
-// queue of queueSize pending tasks (≤ 0 defaults to 4× workers). metrics
+// NewPool starts a pool of workers (< 1 defaults to GOMAXPROCS) with a
+// queue of queueSize pending tasks (< 1 defaults to 4× workers). metrics
 // may be nil.
 func NewPool(workers, queueSize int, metrics *Metrics) *Pool {
 	if workers < 1 {

@@ -61,6 +61,22 @@ type Options struct {
 	MaxBodyBytes int64
 	// MaxBatchJobs bounds jobs per /v1/batch request (default 256).
 	MaxBatchJobs int
+	// MaxReplications bounds the Monte-Carlo replications one
+	// /v1/simulate request may ask for (default 1024): the batch
+	// allocates per-replication state up front, so an unbounded value
+	// would let one small request exhaust memory.
+	MaxReplications int
+	// SolverParallelism is the per-request parallelism budget handed to
+	// the solvers (relpipe.Options.Parallelism): how many goroutines one
+	// solve may use inside its worker slot. The default,
+	// max(1, GOMAXPROCS/workers), composes the two concurrency layers
+	// instead of oversubscribing: workers × SolverParallelism ≈
+	// GOMAXPROCS, so a loaded pool keeps every core busy with distinct
+	// requests while a lone heavy solve on an idle pool still spreads
+	// over spare cores when workers < GOMAXPROCS. Negative forces
+	// sequential solves. Parallelism never changes a solver's answer,
+	// so cache keys ignore it.
+	SolverParallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +92,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBatchJobs <= 0 {
 		o.MaxBatchJobs = 256
 	}
+	if o.MaxReplications <= 0 {
+		o.MaxReplications = 1024
+	}
 	return o
 }
 
@@ -89,6 +108,7 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 	workers int
+	exec    execOpts
 }
 
 // NewServer builds a ready-to-serve solver service.
@@ -105,6 +125,15 @@ func NewServer(opts Options) *Server {
 	if s.workers < 1 {
 		s.workers = runtime.GOMAXPROCS(0)
 	}
+	switch {
+	case opts.SolverParallelism > 0:
+		s.exec.parallelism = opts.SolverParallelism
+	case opts.SolverParallelism < 0:
+		s.exec.parallelism = 1
+	default:
+		s.exec.parallelism = max(1, runtime.GOMAXPROCS(0)/s.workers)
+	}
+	s.exec.maxReplications = opts.MaxReplications
 	s.pool = NewPool(s.workers, opts.QueueSize, m)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.solveHandler("optimize", parseOptimize))
@@ -132,9 +161,23 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // get 503.
 func (s *Server) Close() { s.pool.Close() }
 
+// execOpts is the execution budget handed to every solve closure: the
+// solver-level parallelism one request may use inside its worker slot
+// (never part of cache keys because parallelism never changes a
+// solver's answer) and the per-request replication cap.
+type execOpts struct {
+	parallelism     int
+	maxReplications int
+}
+
+func (e execOpts) options() relpipe.Options {
+	return relpipe.Options{Parallelism: e.parallelism}
+}
+
 // parser turns a decoded request body into a canonical cache key and a
-// solve closure producing the response DTO.
-type parser func(body []byte) (key string, solve func() (any, error), err error)
+// solve closure producing the response DTO under the given execution
+// budget.
+type parser func(body []byte, ex execOpts) (key string, solve func() (any, error), err error)
 
 // outcome is the materialized HTTP answer of one solve, shared verbatim
 // by deduplicated and cached requests.
@@ -166,7 +209,7 @@ func (s *Server) solveHandler(endpoint string, parse parser) http.HandlerFunc {
 // metrics, parsing, the cache, the flight group, and the pool.
 func (s *Server) process(endpoint string, parse parser, body []byte) outcome {
 	s.metrics.Request(endpoint)
-	key, solve, err := parse(body)
+	key, solve, err := parse(body, s.exec)
 	if err != nil {
 		return errorOutcome(http.StatusBadRequest, err)
 	}
@@ -282,7 +325,7 @@ var batchParsers = map[string]parser{
 
 // ---- endpoint parsers ----
 
-func parseOptimize(body []byte) (string, func() (any, error), error) {
+func parseOptimize(body []byte, ex execOpts) (string, func() (any, error), error) {
 	var req relpipe.OptimizeRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
@@ -296,7 +339,7 @@ func parseOptimize(body []byte) (string, func() (any, error), error) {
 	}
 	key := req.Instance.Canonical() + "|m=" + method.String() + "|" + floatKey(req.Bounds.Period, req.Bounds.Latency)
 	return key, func() (any, error) {
-		sol, err := relpipe.Optimize(req.Instance, req.Bounds, method)
+		sol, err := relpipe.OptimizeWith(req.Instance, req.Bounds, method, ex.options())
 		if err != nil {
 			return nil, err
 		}
@@ -304,7 +347,7 @@ func parseOptimize(body []byte) (string, func() (any, error), error) {
 	}, nil
 }
 
-func parseEvaluate(body []byte) (string, func() (any, error), error) {
+func parseEvaluate(body []byte, _ execOpts) (string, func() (any, error), error) {
 	var req relpipe.EvaluateRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
@@ -319,14 +362,14 @@ func parseEvaluate(body []byte) (string, func() (any, error), error) {
 	}, nil
 }
 
-func parseMinPeriod(body []byte) (string, func() (any, error), error) {
+func parseMinPeriod(body []byte, ex execOpts) (string, func() (any, error), error) {
 	var req relpipe.MinPeriodRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
 	}
 	key := req.Instance.Canonical() + "|" + floatKey(req.MinReliability)
 	return key, func() (any, error) {
-		sol, err := relpipe.MinPeriod(req.Instance, req.MinReliability)
+		sol, err := relpipe.MinPeriodWith(req.Instance, req.MinReliability, ex.options())
 		if err != nil {
 			return nil, err
 		}
@@ -334,13 +377,13 @@ func parseMinPeriod(body []byte) (string, func() (any, error), error) {
 	}, nil
 }
 
-func parseFrontier(body []byte) (string, func() (any, error), error) {
+func parseFrontier(body []byte, ex execOpts) (string, func() (any, error), error) {
 	var req relpipe.FrontierRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
 	}
 	return req.Instance.Canonical(), func() (any, error) {
-		pts, err := relpipe.Frontier(req.Instance)
+		pts, err := relpipe.FrontierWith(req.Instance, ex.options())
 		if err != nil {
 			return nil, err
 		}
@@ -348,7 +391,7 @@ func parseFrontier(body []byte) (string, func() (any, error), error) {
 	}, nil
 }
 
-func parseMinCost(body []byte) (string, func() (any, error), error) {
+func parseMinCost(body []byte, _ execOpts) (string, func() (any, error), error) {
 	var req relpipe.MinCostRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
@@ -364,7 +407,7 @@ func parseMinCost(body []byte) (string, func() (any, error), error) {
 	}, nil
 }
 
-func parseSimulate(body []byte) (string, func() (any, error), error) {
+func parseSimulate(body []byte, ex execOpts) (string, func() (any, error), error) {
 	var req relpipe.SimulateRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
@@ -378,38 +421,63 @@ func parseSimulate(body []byte) (string, func() (any, error), error) {
 	default:
 		return "", nil, fmt.Errorf("simulate: unknown routing %q (want one-hop or two-hop)", req.Routing)
 	}
+	if req.Replications < 0 {
+		return "", nil, fmt.Errorf("simulate: negative replications %d", req.Replications)
+	}
+	if req.Replications > ex.maxReplications {
+		return "", nil, fmt.Errorf("simulate: %d replications exceeds limit %d", req.Replications, ex.maxReplications)
+	}
+	reps := req.Replications
+	if reps == 0 {
+		reps = 1
+	}
 	key := req.Instance.Canonical() + "|" + mappingKey(req.Mapping) +
 		"|" + floatKey(req.Period) +
-		fmt.Sprintf("|n=%d|s=%d|f=%t|r=%d|w=%d",
-			req.DataSets, req.Seed, req.InjectFailures, routing, req.WarmUp)
+		fmt.Sprintf("|n=%d|s=%d|f=%t|r=%d|w=%d|rep=%d",
+			req.DataSets, req.Seed, req.InjectFailures, routing, req.WarmUp, reps)
+	cfg := relpipe.SimConfig{
+		Chain:          req.Instance.Chain,
+		Platform:       req.Instance.Platform,
+		Mapping:        req.Mapping,
+		Period:         req.Period,
+		DataSets:       req.DataSets,
+		Seed:           req.Seed,
+		InjectFailures: req.InjectFailures,
+		Routing:        routing,
+		WarmUp:         req.WarmUp,
+	}
 	return key, func() (any, error) {
-		res, err := relpipe.Simulate(relpipe.SimConfig{
-			Chain:          req.Instance.Chain,
-			Platform:       req.Instance.Platform,
-			Mapping:        req.Mapping,
-			Period:         req.Period,
-			DataSets:       req.DataSets,
-			Seed:           req.Seed,
-			InjectFailures: req.InjectFailures,
-			Routing:        routing,
-			WarmUp:         req.WarmUp,
-		})
+		if reps > 1 {
+			batch, err := relpipe.SimulateBatch(cfg, reps, ex.options())
+			if err != nil {
+				return nil, err
+			}
+			return simulateResponse(batch.DataSets(), batch.Successes(),
+				batch.SuccessRate(), batch.MeanLatency(), batch.MaxLatency(), batch.MeanSteadyPeriod()), nil
+		}
+		res, err := relpipe.Simulate(cfg)
 		if err != nil {
 			return nil, err
 		}
-		// The simulator reports undefined aggregates as NaN (no successful
-		// data set, or too few post-warm-up completions for SteadyPeriod),
-		// which json.Marshal rejects; the wire format uses 0 for "undefined"
-		// (Successes / DataSets disambiguate).
-		return relpipe.SimulateResponse{
-			DataSets:     res.DataSets,
-			Successes:    res.Successes,
-			SuccessRate:  finiteOrZero(res.SuccessRate()),
-			MeanLatency:  finiteOrZero(res.MeanLatency()),
-			MaxLatency:   finiteOrZero(res.MaxLatency()),
-			SteadyPeriod: finiteOrZero(res.SteadyPeriod),
-		}, nil
+		return simulateResponse(res.DataSets, res.Successes,
+			res.SuccessRate(), res.MeanLatency(), res.MaxLatency(), res.SteadyPeriod), nil
 	}, nil
+}
+
+// simulateResponse builds the wire aggregate shared by the single-run
+// and batched simulate paths. The simulator reports undefined aggregates
+// as NaN (no successful data set, or too few post-warm-up completions
+// for SteadyPeriod), which json.Marshal rejects; the wire format uses 0
+// for "undefined" (Successes / DataSets disambiguate).
+func simulateResponse(dataSets, successes int, successRate, meanLatency, maxLatency, steadyPeriod float64) relpipe.SimulateResponse {
+	return relpipe.SimulateResponse{
+		DataSets:     dataSets,
+		Successes:    successes,
+		SuccessRate:  finiteOrZero(successRate),
+		MeanLatency:  finiteOrZero(meanLatency),
+		MaxLatency:   finiteOrZero(maxLatency),
+		SteadyPeriod: finiteOrZero(steadyPeriod),
+	}
 }
 
 // finiteOrZero maps NaN/±Inf to 0 so responses stay marshalable.

@@ -363,7 +363,7 @@ func TestQueueFullIs429WithRetryAfter(t *testing.T) {
 
 	block := make(chan struct{})
 	started := make(chan struct{})
-	blocking := func(body []byte) (string, func() (any, error), error) {
+	blocking := func(body []byte, _ execOpts) (string, func() (any, error), error) {
 		return string(body), func() (any, error) {
 			if string(body) == "A" {
 				close(started)
@@ -484,7 +484,7 @@ func TestTimedOutSolveStillCaches(t *testing.T) {
 	s := NewServer(Options{RequestTimeout: 10 * time.Millisecond})
 	defer s.Close()
 	done := make(chan struct{})
-	slow := func(body []byte) (string, func() (any, error), error) {
+	slow := func(body []byte, _ execOpts) (string, func() (any, error), error) {
 		return "k", func() (any, error) {
 			defer close(done)
 			time.Sleep(100 * time.Millisecond)
@@ -496,7 +496,7 @@ func TestTimedOutSolveStillCaches(t *testing.T) {
 	}
 	<-done // the abandoned solve has finished; its Put follows at once
 	waitFor(t, func() bool { _, ok := s.cache.Get("slow|k"); return ok })
-	fail := func(body []byte) (string, func() (any, error), error) {
+	fail := func(body []byte, _ execOpts) (string, func() (any, error), error) {
 		return "k", func() (any, error) {
 			t.Error("identical request re-solved instead of hitting the cache")
 			return nil, nil

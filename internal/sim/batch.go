@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"relpipe/internal/par"
+	"relpipe/internal/rng"
+)
+
+// BatchResult aggregates the independent replications of one RunBatch
+// call. Runs and Seeds are in replication order; replication r ran with
+// Seeds[r], so any replication can be reproduced standalone.
+type BatchResult struct {
+	Runs  []Result
+	Seeds []uint64
+}
+
+// RunBatch executes replications independent copies of the simulation,
+// each with its own seed derived deterministically from cfg.Seed, on up
+// to par.Degree(parallelism) goroutines (see internal/par; 1 =
+// sequential, 0 = GOMAXPROCS). Replication seeds are drawn from the
+// master generator before any run starts and each replication is a
+// deterministic function of its seed alone, so the batch is bit-identical
+// for every degree — this is the Monte-Carlo counterpart of the paper's
+// closed forms at service scale: reliability estimates tighten with
+// replications × DataSets while the wall-clock stays one run's worth per
+// worker.
+//
+// cfg.Trace must be nil: a shared trace would interleave operations
+// nondeterministically across replications. Trace single runs instead.
+func RunBatch(ctx context.Context, cfg Config, replications, parallelism int) (BatchResult, error) {
+	if replications <= 0 {
+		return BatchResult{}, errors.New("sim: replications must be positive")
+	}
+	if cfg.Trace != nil {
+		return BatchResult{}, errors.New("sim: Trace is not supported by RunBatch; trace a single Run instead")
+	}
+	master := rng.New(cfg.Seed)
+	seeds := make([]uint64, replications)
+	for r := range seeds {
+		seeds[r] = master.Uint64()
+	}
+	runs, err := par.Map(ctx, parallelism, replications, func(r int) (Result, error) {
+		c := cfg
+		c.Seed = seeds[r]
+		return Run(c)
+	})
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return BatchResult{Runs: runs, Seeds: seeds}, nil
+}
+
+// DataSets returns the total data sets injected across replications.
+func (b BatchResult) DataSets() int {
+	t := 0
+	for _, r := range b.Runs {
+		t += r.DataSets
+	}
+	return t
+}
+
+// Successes returns the total fully processed data sets.
+func (b BatchResult) Successes() int {
+	t := 0
+	for _, r := range b.Runs {
+		t += r.Successes
+	}
+	return t
+}
+
+// SuccessRate returns the pooled success fraction (NaN for an empty
+// batch).
+func (b BatchResult) SuccessRate() float64 {
+	n := b.DataSets()
+	if n == 0 {
+		return math.NaN()
+	}
+	return float64(b.Successes()) / float64(n)
+}
+
+// FailureRate returns 1 - SuccessRate.
+func (b BatchResult) FailureRate() float64 { return 1 - b.SuccessRate() }
+
+// MeanLatency returns the mean latency over every successful data set of
+// every replication (NaN when none succeeded).
+func (b BatchResult) MeanLatency() float64 {
+	s, n := 0.0, 0
+	for _, r := range b.Runs {
+		for _, l := range r.Latencies {
+			s += l
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}
+
+// MaxLatency returns the largest latency observed in any replication
+// (NaN when none succeeded).
+func (b BatchResult) MaxLatency() float64 {
+	m, seen := 0.0, false
+	for _, r := range b.Runs {
+		for _, l := range r.Latencies {
+			if !seen || l > m {
+				m, seen = l, true
+			}
+		}
+	}
+	if !seen {
+		return math.NaN()
+	}
+	return m
+}
+
+// MeanSteadyPeriod returns the mean steady-state period over the
+// replications that could estimate one (NaN when none could).
+func (b BatchResult) MeanSteadyPeriod() float64 {
+	s, n := 0.0, 0
+	for _, r := range b.Runs {
+		if !math.IsNaN(r.SteadyPeriod) {
+			s += r.SteadyPeriod
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}

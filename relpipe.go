@@ -21,6 +21,7 @@
 package relpipe
 
 import (
+	"context"
 	"math"
 
 	"relpipe/internal/alloc"
@@ -123,9 +124,34 @@ const (
 // ErrInfeasible is returned by Optimize when no mapping fits the bounds.
 var ErrInfeasible = core.ErrInfeasible
 
+// Options tunes how solvers execute. Parallelism never changes a
+// solver's answer: every parallel path shards its index space and
+// reduces in deterministic order, so results are bit-identical to the
+// sequential run for any degree (enforced by differential tests).
+type Options struct {
+	// Parallelism caps the worker goroutines of one solve: 0 means
+	// GOMAXPROCS, 1 (or any negative value) forces sequential
+	// execution. Servers running many solves concurrently should budget
+	// this so that workers × Parallelism ≈ GOMAXPROCS
+	// (internal/service does).
+	Parallelism int
+	// Context cancels a long solve mid-shard; nil means no cancellation.
+	Context context.Context
+}
+
+func (o Options) exec() core.Exec {
+	return core.Exec{Ctx: o.Context, Parallelism: o.Parallelism}
+}
+
 // Optimize computes a reliability-maximal mapping under the bounds.
 func Optimize(in Instance, b Bounds, m Method) (Solution, error) {
 	return core.Optimize(in, b, m)
+}
+
+// OptimizeWith is Optimize with execution options (parallelism degree,
+// cancellation). The solution is identical for every Options value.
+func OptimizeWith(in Instance, b Bounds, m Method, o Options) (Solution, error) {
+	return core.OptimizeExec(in, b, m, o.exec())
 }
 
 // Evaluate computes reliability, latency and period of a mapping (§4).
@@ -145,15 +171,31 @@ func UnroutedFailProb(in Instance, m Mapping) (float64, error) {
 // homogeneous platform (§5.2, converse problem). minReliability is the
 // required success probability per data set; pass 0 for unconstrained.
 func MinPeriod(in Instance, minReliability float64) (Solution, error) {
+	return MinPeriodWith(in, minReliability, Options{})
+}
+
+// MinPeriodWith is MinPeriod with execution options.
+func MinPeriodWith(in Instance, minReliability float64, o Options) (Solution, error) {
 	minLogRel := math.Inf(-1)
 	if minReliability > 0 {
 		minLogRel = math.Log(minReliability)
 	}
-	return core.MinPeriod(in, minLogRel)
+	return core.MinPeriodExec(in, minLogRel, o.exec())
 }
 
 // Simulate runs the discrete-event pipeline simulator.
 func Simulate(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
+
+// SimBatchResult aggregates the replications of one SimulateBatch call.
+type SimBatchResult = sim.BatchResult
+
+// SimulateBatch runs independent Monte-Carlo replications of the
+// simulation — each seeded deterministically from cfg.Seed — across
+// o.Parallelism workers and returns the per-replication results in
+// order. The batch is bit-identical for every parallelism degree.
+func SimulateBatch(cfg SimConfig, replications int, o Options) (SimBatchResult, error) {
+	return sim.RunBatch(o.Context, cfg, replications, o.Parallelism)
+}
 
 // ParseMethod converts a CLI name ("exact", "heur-p", …) into a Method.
 func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
@@ -174,10 +216,17 @@ func RandomChain(seed uint64, n int, wMin, wMax, oMin, oMax float64) Chain {
 // Frontier enumerates the Pareto-optimal (period, latency, reliability)
 // trade-offs of the instance (homogeneous platforms).
 func Frontier(in Instance) ([]FrontierPoint, error) {
+	return FrontierWith(in, Options{})
+}
+
+// FrontierWith is Frontier with execution options: the enumeration,
+// dominance filter and point evaluation shard across o.Parallelism
+// workers, returning a bit-identical frontier for every degree.
+func FrontierWith(in Instance, o Options) ([]FrontierPoint, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	return frontier.Compute(in.Chain, in.Platform)
+	return frontier.ComputePar(o.Context, in.Chain, in.Platform, o.Parallelism)
 }
 
 // BuildSchedule constructs the closed-form periodic timetable of a

@@ -1,0 +1,86 @@
+package relpipe_test
+
+import (
+	"reflect"
+	"testing"
+
+	"relpipe"
+)
+
+// TestOptimizeWithParallelismInvariance asserts the public facade's
+// contract: Options.Parallelism never changes a solution, across
+// methods, on randomized instances.
+func TestOptimizeWithParallelismInvariance(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		inst := relpipe.Instance{
+			Chain:    relpipe.RandomChain(seed, 12, 1, 100, 1, 10),
+			Platform: relpipe.HomogeneousPlatform(8, 1, 1e-8, 1, 1e-5, 3),
+		}
+		b := relpipe.Bounds{Period: 250, Latency: 900}
+		for _, method := range []relpipe.Method{relpipe.Exact, relpipe.DP} {
+			bounds := b
+			if method == relpipe.DP {
+				bounds.Latency = 0
+			}
+			want, wantErr := relpipe.OptimizeWith(inst, bounds, method, relpipe.Options{Parallelism: 1})
+			for _, p := range []int{2, 8} {
+				got, gotErr := relpipe.OptimizeWith(inst, bounds, method, relpipe.Options{Parallelism: p})
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("seed %d, %v, P=%d: err = %v, want %v", seed, method, p, gotErr, wantErr)
+				}
+				if gotErr == nil && !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d, %v, P=%d: solution differs from sequential", seed, method, p)
+				}
+			}
+		}
+	}
+}
+
+func TestFrontierWithParallelismInvariance(t *testing.T) {
+	inst := relpipe.Instance{
+		Chain:    relpipe.RandomChain(5, 11, 1, 100, 1, 10),
+		Platform: relpipe.HomogeneousPlatform(8, 1, 1e-8, 1, 1e-5, 3),
+	}
+	want, err := relpipe.FrontierWith(inst, relpipe.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} {
+		got, err := relpipe.FrontierWith(inst, relpipe.Options{Parallelism: p})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("P=%d: frontier differs from sequential", p)
+		}
+	}
+}
+
+func TestSimulateBatchParallelismInvariance(t *testing.T) {
+	inst := relpipe.Instance{
+		Chain:    relpipe.RandomChain(9, 8, 1, 100, 1, 10),
+		Platform: relpipe.HomogeneousPlatform(6, 1, 1e-4, 1, 1e-3, 3),
+	}
+	sol, err := relpipe.Optimize(inst, relpipe.Bounds{}, relpipe.DP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := relpipe.SimConfig{
+		Chain: inst.Chain, Platform: inst.Platform, Mapping: sol.Mapping,
+		Period: sol.Eval.WorstPeriod, DataSets: 150, Seed: 3,
+		InjectFailures: true, Routing: relpipe.SimTwoHop,
+	}
+	want, err := relpipe.SimulateBatch(cfg, 5, relpipe.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} {
+		got, err := relpipe.SimulateBatch(cfg, 5, relpipe.Options{Parallelism: p})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("P=%d: batch differs from sequential", p)
+		}
+	}
+}

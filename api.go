@@ -7,14 +7,31 @@ import "encoding/json"
 // API can marshal requests and unmarshal responses with the same structs
 // the server uses.
 
+// SearchParams tunes the heuristic search engine (method "heuristic",
+// or the automatic fallback on instances beyond the exact ceiling).
+// Zero values pick the solver defaults; the server rejects budgets
+// above its configured caps (see service.Options).
+type SearchParams struct {
+	// Restarts is the portfolio size (0 = default 8).
+	Restarts int `json:"restarts,omitempty"`
+	// Budget is the per-restart iteration budget (0 = default, scaled
+	// with the chain length).
+	Budget int `json:"budget,omitempty"`
+	// Seed drives the random choices; equal seeds give identical
+	// results regardless of server parallelism.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
 // OptimizeRequest asks for a reliability-maximal mapping of an instance
 // under real-time bounds ("POST /v1/optimize").
 type OptimizeRequest struct {
 	Instance Instance `json:"instance"`
 	Bounds   Bounds   `json:"bounds,omitzero"`
 	// Method is a CLI-style name: "auto", "dp", "exact", "ilp", "heur-p",
-	// "heur-l", "best-heuristic". Empty means "auto".
+	// "heur-l", "best-heuristic", "heuristic". Empty means "auto".
 	Method string `json:"method,omitempty"`
+	// Search tunes the heuristic search engine; nil picks defaults.
+	Search *SearchParams `json:"search,omitempty"`
 }
 
 // OptimizeResponse carries the solution of an optimize (or min-period)
@@ -38,9 +55,13 @@ type EvaluateResponse struct {
 // MinPeriodRequest asks for the period-minimal mapping subject to a
 // reliability floor ("POST /v1/minperiod"). MinReliability is the
 // required success probability per data set; 0 means unconstrained.
+// Method is "auto" (default), "dp" (exact, homogeneous platforms) or
+// "heuristic" (the search engine, any platform).
 type MinPeriodRequest struct {
-	Instance       Instance `json:"instance"`
-	MinReliability float64  `json:"minReliability,omitempty"`
+	Instance       Instance      `json:"instance"`
+	MinReliability float64       `json:"minReliability,omitempty"`
+	Method         string        `json:"method,omitempty"`
+	Search         *SearchParams `json:"search,omitempty"`
 }
 
 // FrontierRequest asks for the full tri-criteria Pareto frontier of an
@@ -57,12 +78,16 @@ type FrontierResponse struct {
 
 // MinCostRequest asks for the cheapest mapping meeting a reliability
 // floor and the bounds ("POST /v1/mincost"). Costs[u] is the price of
-// enrolling processor u.
+// enrolling processor u. Method is "auto" (default), "exact" (small
+// homogeneous instances) or "heuristic" (the search engine, any
+// platform and size).
 type MinCostRequest struct {
-	Instance       Instance  `json:"instance"`
-	Costs          []float64 `json:"costs"`
-	MinReliability float64   `json:"minReliability,omitempty"`
-	Bounds         Bounds    `json:"bounds,omitzero"`
+	Instance       Instance      `json:"instance"`
+	Costs          []float64     `json:"costs"`
+	MinReliability float64       `json:"minReliability,omitempty"`
+	Bounds         Bounds        `json:"bounds,omitzero"`
+	Method         string        `json:"method,omitempty"`
+	Search         *SearchParams `json:"search,omitempty"`
 }
 
 // MinCostResponse carries a cost-minimal mapping.

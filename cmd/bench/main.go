@@ -46,6 +46,7 @@ import (
 	"relpipe/internal/mapping"
 	"relpipe/internal/platform"
 	"relpipe/internal/rng"
+	"relpipe/internal/search"
 	"relpipe/internal/sim"
 )
 
@@ -78,18 +79,19 @@ type sizes struct {
 	frontierTasks int
 	mcReps        int
 	mcDataSets    int
+	searchBudget  int
 	minTime       time.Duration
 	repeats       int
 }
 
 func quickSizes() sizes {
 	return sizes{exactTasks: 15, frontierTasks: 14, mcReps: 16, mcDataSets: 1000,
-		minTime: 200 * time.Millisecond, repeats: 3}
+		searchBudget: 1000, minTime: 200 * time.Millisecond, repeats: 3}
 }
 
 func fullSizes() sizes {
 	return sizes{exactTasks: 17, frontierTasks: 16, mcReps: 64, mcDataSets: 2000,
-		minTime: time.Second, repeats: 3}
+		searchBudget: 4000, minTime: time.Second, repeats: 3}
 }
 
 // benchmark is one registered measurement: setup returns the op closure
@@ -152,6 +154,29 @@ func monteCarloBench(parallelism int) func(sz sizes) func() {
 	}
 }
 
+// searchBench measures the heuristic search engine on a fixed
+// 100-stage heterogeneous instance under tight bounds (the regime the
+// engine exists for); restarts shard across the portfolio at the given
+// degree, and the fixed seed makes every run measure identical work.
+func searchBench(parallelism int) func(sz sizes) func() {
+	return func(sz sizes) func() {
+		r := rng.New(42)
+		c := chain.PaperRandom(r, 100)
+		pl := platform.PaperHeterogeneous(r, 30)
+		opts := search.Options{
+			Period: 25, Latency: 600, Seed: 1,
+			Restarts: 4, Budget: sz.searchBudget, Parallelism: parallelism,
+		}
+		return func() {
+			res, ok, err := search.Optimize(c, pl, opts)
+			if err != nil || !ok {
+				panic(fmt.Sprintf("search bench: ok=%v err=%v", ok, err))
+			}
+			sink += res.Ev.LogRel
+		}
+	}
+}
+
 func frontierBench(parallelism int) func(sz sizes) func() {
 	return func(sz sizes) func() {
 		c, pl := paperChainPlatform(sz.frontierTasks)
@@ -187,6 +212,8 @@ var benchmarks = []benchmark{
 	{"monte-carlo/P=8", []string{tagHotPath}, monteCarloBench(8)},
 	{"frontier/P=1", []string{tagHotPath}, frontierBench(1)},
 	{"frontier/P=8", []string{tagHotPath}, frontierBench(8)},
+	{"search-optimize/P=1", []string{tagHotPath}, searchBench(1)},
+	{"search-optimize/P=8", []string{tagHotPath}, searchBench(8)},
 	{"dp-reliability", []string{tagHotPath}, func(sz sizes) func() {
 		c, pl := paperChainPlatform(15)
 		return func() {
@@ -256,7 +283,7 @@ func runBenchmarks(quick bool) File {
 		byName[b.name] = ns
 		fmt.Printf("%-24s %14.0f ns/op  (%d iters)\n", b.name, ns, iters)
 	}
-	for _, base := range []string{"exact-profiles", "monte-carlo", "frontier"} {
+	for _, base := range []string{"exact-profiles", "monte-carlo", "frontier", "search-optimize"} {
 		p1, ok1 := byName[base+"/P=1"]
 		p8, ok8 := byName[base+"/P=8"]
 		if ok1 && ok8 && p8 > 0 {

@@ -1,11 +1,17 @@
 // Command frontier prints the Pareto-optimal trade-offs between
-// reliability, period and latency of one instance on a homogeneous
-// platform: the full tri-criteria frontier as CSV, plus ASCII renderings
-// of its two-dimensional projections.
+// reliability, period and latency of one instance: the full
+// tri-criteria frontier as CSV, plus ASCII renderings of its
+// two-dimensional projections.
+//
+// The exact method enumerates every partition (homogeneous platforms
+// within the ~22-task ceiling); the heuristic method approximates the
+// frontier with the search engine for large chains or heterogeneous
+// platforms. auto picks whichever applies.
 //
 // Usage:
 //
-//	frontier -instance inst.json [-floor 0.999999] [-csv out.csv] [-parallel 0]
+//	frontier -instance inst.json [-method auto|exact|heuristic] [-floor 0.999999]
+//	         [-csv out.csv] [-parallel 0] [-restarts 0] [-budget 0] [-seed 1]
 package main
 
 import (
@@ -22,17 +28,22 @@ import (
 
 func main() {
 	instPath := flag.String("instance", "", "instance JSON file (required)")
+	method := flag.String("method", "auto", "frontier method: auto, exact (enumeration) or heuristic (search approximation)")
 	floor := flag.Float64("floor", 0, "reliability floor for the period/latency projection")
 	csvPath := flag.String("csv", "", "write the full frontier as CSV to this file")
 	parallel := flag.Int("parallel", 0, "sweep parallelism (0 = GOMAXPROCS, 1 = sequential; the frontier is identical for any value)")
+	restarts := flag.Int("restarts", 0, "heuristic-search portfolio size (0 = default)")
+	budget := flag.Int("budget", 0, "heuristic-search iterations per restart (0 = default)")
+	seed := flag.Uint64("seed", 1, "heuristic-search rng seed")
 	flag.Parse()
-	if err := run(*instPath, *floor, *csvPath, *parallel); err != nil {
+	opts := relpipe.Options{Parallelism: *parallel, Restarts: *restarts, Budget: *budget, Seed: *seed}
+	if err := run(*instPath, *method, *floor, *csvPath, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "frontier:", err)
 		os.Exit(1)
 	}
 }
 
-func run(instPath string, floor float64, csvPath string, parallel int) error {
+func run(instPath, method string, floor float64, csvPath string, opts relpipe.Options) error {
 	if instPath == "" {
 		return fmt.Errorf("-instance is required")
 	}
@@ -44,11 +55,22 @@ func run(instPath string, floor float64, csvPath string, parallel int) error {
 	if err := json.Unmarshal(b, &in); err != nil {
 		return err
 	}
-	pts, err := relpipe.FrontierWith(in, relpipe.Options{Parallelism: parallel})
+	var pts []relpipe.FrontierPoint
+	switch method {
+	case "auto":
+		// One routing policy for the whole stack: the facade's.
+		pts, err = relpipe.FrontierAuto(in, opts)
+	case "exact":
+		pts, err = relpipe.FrontierWith(in, opts)
+	case "heuristic":
+		pts, err = relpipe.FrontierHeuristic(in, opts)
+	default:
+		return fmt.Errorf("unknown method %q (want auto, exact or heuristic)", method)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d Pareto-optimal trade-offs\n", len(pts))
+	fmt.Printf("%d Pareto-optimal trade-offs (method %s)\n", len(pts), method)
 
 	if csvPath != "" {
 		f, err := os.Create(csvPath)

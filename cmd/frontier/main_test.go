@@ -31,7 +31,7 @@ func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	instPath := writeInstance(t, dir)
 	csvPath := filepath.Join(dir, "front.csv")
-	if err := run(instPath, 0.999, csvPath, 2); err != nil {
+	if err := run(instPath, "auto", 0.999, csvPath, relpipe.Options{Parallelism: 2}); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(csvPath)
@@ -44,11 +44,35 @@ func TestRunWritesCSV(t *testing.T) {
 	}
 }
 
+// TestRunHeuristicMethod drives the search-approximation path end to
+// end on an instance the exact enumeration also handles.
+func TestRunHeuristicMethod(t *testing.T) {
+	dir := t.TempDir()
+	instPath := writeInstance(t, dir)
+	csvPath := filepath.Join(dir, "front-heur.csv")
+	opts := relpipe.Options{Restarts: 2, Budget: 300, Seed: 1}
+	if err := run(instPath, "heuristic", 0, csvPath, opts); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "period,latency,failProb") {
+		t.Fatalf("unexpected CSV:\n%s", b)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("", 0, "", 0); err == nil {
+	if err := run("", "auto", 0, "", relpipe.Options{}); err == nil {
 		t.Fatal("missing instance accepted")
 	}
-	if err := run("/nonexistent.json", 0, "", 0); err == nil {
+	if err := run("/nonexistent.json", "auto", 0, "", relpipe.Options{}); err == nil {
 		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	instPath := writeInstance(t, dir)
+	if err := run(instPath, "nope", 0, "", relpipe.Options{}); err == nil {
+		t.Fatal("unknown method accepted")
 	}
 }

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	relpipe optimize -instance inst.json [-period P] [-latency L] [-method auto] [-parallel 0] [-o sol.json]
+//	relpipe optimize -instance inst.json [-period P] [-latency L] [-method auto] [-parallel 0]
+//	        [-restarts 0] [-budget 0] [-search-seed 1] [-o sol.json]
 //	relpipe evaluate -instance inst.json -solution sol.json
 //	relpipe generate [-tasks 15] [-procs 10] [-seed 1] [-het] [-o inst.json]
 //
@@ -49,7 +50,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  relpipe optimize -instance inst.json [-period P] [-latency L] [-method auto|dp|exact|ilp|heur-p|heur-l|best-heuristic] [-parallel 0] [-o sol.json]
+  relpipe optimize -instance inst.json [-period P] [-latency L]
+          [-method auto|dp|exact|ilp|heur-p|heur-l|best-heuristic|heuristic] [-parallel 0]
+          [-restarts 0] [-budget 0] [-search-seed 1] [-o sol.json]
   relpipe evaluate -instance inst.json -solution sol.json
   relpipe generate [-tasks 15] [-procs 10] [-seed 1] [-het] [-o inst.json]`)
 }
@@ -86,6 +89,9 @@ func cmdOptimize(args []string) error {
 	latency := fs.Float64("latency", 0, "latency bound (0 = unconstrained)")
 	methodStr := fs.String("method", "auto", "optimization method")
 	parallel := fs.Int("parallel", 0, "solver parallelism (0 = GOMAXPROCS, 1 = sequential; the answer is identical for any value)")
+	restarts := fs.Int("restarts", 0, "heuristic-search portfolio size (0 = default 8)")
+	budget := fs.Int("budget", 0, "heuristic-search iterations per restart (0 = default, scaled with n)")
+	searchSeed := fs.Uint64("search-seed", 1, "heuristic-search rng seed")
 	out := fs.String("o", "-", "output file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,7 +108,7 @@ func cmdOptimize(args []string) error {
 		return err
 	}
 	sol, err := relpipe.OptimizeWith(in, relpipe.Bounds{Period: *period, Latency: *latency}, method,
-		relpipe.Options{Parallelism: *parallel})
+		relpipe.Options{Parallelism: *parallel, Restarts: *restarts, Budget: *budget, Seed: *searchSeed})
 	if err != nil {
 		return err
 	}

@@ -66,6 +66,42 @@ func TestCmdGenerateAndOptimizeAndEvaluate(t *testing.T) {
 	}
 }
 
+// TestCmdOptimizeHeuristic500Stages is the large-n acceptance path: a
+// 500-stage heterogeneous chain — two orders of magnitude beyond the
+// exact solver's ceiling — solved end to end through the CLI with
+// -method heuristic at the default budget.
+func TestCmdOptimizeHeuristic500Stages(t *testing.T) {
+	dir := t.TempDir()
+	instPath := filepath.Join(dir, "big.json")
+	if err := cmdGenerate([]string{"-tasks", "500", "-procs", "60", "-het", "-seed", "42", "-o", instPath}); err != nil {
+		t.Fatal(err)
+	}
+	solPath := filepath.Join(dir, "big-sol.json")
+	err := cmdOptimize([]string{"-instance", instPath, "-method", "heuristic", "-o", solPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sol relpipe.Solution
+	b, err := os.ReadFile(solPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != "heuristic" || len(sol.Mapping.Parts) == 0 {
+		t.Fatalf("solution = method %q, %d intervals", sol.Method, len(sol.Mapping.Parts))
+	}
+	var in relpipe.Instance
+	b, _ = os.ReadFile(instPath)
+	if err := json.Unmarshal(b, &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Mapping.Validate(in.Chain, in.Platform); err != nil {
+		t.Fatalf("500-stage mapping invalid: %v", err)
+	}
+}
+
 func TestCmdGenerateHeterogeneous(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "het.json")

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	serve [-addr :8080] [-workers 0] [-queue 0] [-cache 1024] [-timeout 30s] [-grace 10s]
-//	      [-solver-parallel 0]
+//	      [-solver-parallel 0] [-search-restarts 32] [-search-budget 200000]
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, in-flight requests get up to the shutdown grace period to
@@ -39,6 +39,10 @@ func main() {
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
 	solverParallel := fs.Int("solver-parallel", 0,
 		"per-request solver parallelism (0 = GOMAXPROCS/workers, negative = sequential)")
+	searchRestarts := fs.Int("search-restarts", 0,
+		"cap on heuristic-search restarts per request (0 = default 32)")
+	searchBudget := fs.Int("search-budget", 0,
+		"cap on heuristic-search iterations per restart per request (0 = default 200000)")
 	fs.Parse(os.Args[1:])
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -54,6 +58,8 @@ func main() {
 		CacheSize:         *cacheSize,
 		RequestTimeout:    *timeout,
 		SolverParallelism: *solverParallel,
+		MaxSearchRestarts: *searchRestarts,
+		MaxSearchBudget:   *searchBudget,
 	}, *grace, log.Default()); err != nil {
 		log.Fatalf("serve: %v", err)
 	}

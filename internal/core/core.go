@@ -8,10 +8,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
+	"time"
 
 	"relpipe/internal/alloc"
 	"relpipe/internal/chain"
+	"relpipe/internal/cost"
 	"relpipe/internal/dp"
 	"relpipe/internal/exact"
 	"relpipe/internal/heur"
@@ -19,6 +22,7 @@ import (
 	"relpipe/internal/mapping"
 	"relpipe/internal/platform"
 	"relpipe/internal/rbd"
+	"relpipe/internal/search"
 )
 
 // Exec controls how a solver executes: the parallelism degree of its
@@ -30,9 +34,18 @@ type Exec struct {
 	// Ctx cancels long solves mid-shard; nil means background.
 	Ctx context.Context
 	// Parallelism caps the solver's worker goroutines: 0 = GOMAXPROCS,
-	// 1 = sequential. The exact, DP and frontier solvers honour it; the
-	// heuristics and ILP are already sub-millisecond and run sequentially.
+	// 1 = sequential. The exact, DP, frontier and search solvers honour
+	// it; the raw heuristics and ILP are already sub-millisecond and run
+	// sequentially.
 	Parallelism int
+	// Restarts, Budget and Seed tune the Heuristic search method
+	// (portfolio size, per-restart iteration budget, rng seed); zero
+	// values pick the search defaults. TimeBudget is its optional
+	// wall-clock safety cap. The other methods ignore all four.
+	Restarts   int
+	Budget     int
+	Seed       uint64
+	TimeBudget time.Duration
 }
 
 func (e Exec) ctx() context.Context {
@@ -94,11 +107,16 @@ const (
 	// ILP solves the §5.4 integer program by branch and bound
 	// (homogeneous platforms).
 	ILP
+	// Heuristic is the large-n search engine (internal/search): §7
+	// candidates refined by portfolio local search. Handles any
+	// platform and any chain length; deterministic for a fixed seed at
+	// every parallelism degree.
+	Heuristic
 )
 
 var methodNames = map[Method]string{
 	Auto: "auto", HeurP: "heur-p", HeurL: "heur-l", BestHeuristic: "best-heuristic",
-	DP: "dp", Exact: "exact", ILP: "ilp",
+	DP: "dp", Exact: "exact", ILP: "ilp", Heuristic: "heuristic",
 }
 
 // String returns the method's CLI name.
@@ -126,8 +144,11 @@ type Solution struct {
 	Eval    mapping.Eval    `json:"eval"`
 }
 
-// maxExactTasks bounds partition enumeration (2^{n-1} partitions).
-const maxExactTasks = 22
+// MaxExactTasks bounds partition enumeration (2^{n-1} partitions): the
+// ceiling above which Auto routes to the search engine. Exported so
+// frontier routing (relpipe.FrontierAuto, cmd/frontier) shares the one
+// constant.
+const MaxExactTasks = 22
 
 // Optimize computes a mapping of the instance maximizing reliability
 // under the bounds, with the requested method. It returns ErrInfeasible
@@ -144,12 +165,15 @@ func OptimizeExec(in Instance, b Bounds, m Method, ex Exec) (Solution, error) {
 	}
 	if m == Auto {
 		switch {
-		case in.Platform.Homogeneous() && len(in.Chain) <= maxExactTasks:
+		case in.Platform.Homogeneous() && len(in.Chain) <= MaxExactTasks:
 			m = Exact
 		case in.Platform.Homogeneous() && b.Latency <= 0:
 			m = DP
 		default:
-			m = BestHeuristic
+			// Heterogeneous, or latency-bounded beyond the exact
+			// ceiling: the search engine (seeded from the §7
+			// heuristics, never worse than its sampled seed pool).
+			m = Heuristic
 		}
 	}
 	wrap := func(mp mapping.Mapping, ev mapping.Eval, err error) (Solution, error) {
@@ -184,8 +208,8 @@ func OptimizeExec(in Instance, b Bounds, m Method, ex Exec) (Solution, error) {
 		}
 		return wrap(dp.OptimizeReliabilityPeriodPar(ex.ctx(), in.Chain, in.Platform, b.Period, ex.Parallelism))
 	case Exact:
-		if len(in.Chain) > maxExactTasks {
-			return Solution{}, fmt.Errorf("core: Exact limited to %d tasks (2^{n-1} partitions); use the heuristics", maxExactTasks)
+		if len(in.Chain) > MaxExactTasks {
+			return Solution{}, fmt.Errorf("core: Exact limited to %d tasks (2^{n-1} partitions); use the heuristics", MaxExactTasks)
 		}
 		return wrap(exact.OptimalPar(ex.ctx(), in.Chain, in.Platform, b.Period, b.Latency, ex.Parallelism))
 	case ILP:
@@ -197,9 +221,43 @@ func OptimizeExec(in Instance, b Bounds, m Method, ex Exec) (Solution, error) {
 			return Solution{}, err
 		}
 		return wrap(model.Solve(ilp.Options{}))
+	case Heuristic:
+		sopts := ex.SearchOptions()
+		sopts.Period, sopts.Latency = b.Period, b.Latency
+		res, ok, err := search.Optimize(in.Chain, in.Platform, sopts)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return Solution{}, fmt.Errorf("%w: heuristic search found no mapping meeting the bounds", ErrInfeasible)
+		}
+		return Solution{Method: m.String(), Mapping: res.M, Eval: res.Ev}, nil
 	default:
 		return Solution{}, fmt.Errorf("core: unknown method %v", m)
 	}
+}
+
+// SearchOptions translates the execution budget into search knobs
+// (bounds and objective parameters are filled in by each caller).
+func (e Exec) SearchOptions() search.Options {
+	return search.Options{
+		Restarts: e.Restarts, Budget: e.Budget, Seed: e.Seed,
+		TimeBudget: e.TimeBudget, Parallelism: e.Parallelism, Context: e.Ctx,
+	}
+}
+
+// searchFloor maps a log-reliability floor into the search convention
+// (values >= 0 mean unconstrained there, because the zero Options
+// value must mean "no floor"). A floor of exactly 0 — reliability 1,
+// reachable on zero-failure-rate platforms — becomes the smallest
+// negative float, which accepts exactly LogRel == 0: no float64
+// log-reliability lies strictly between them, so the semantics are
+// preserved bit for bit.
+func searchFloor(minLogRel float64) float64 {
+	if minLogRel == 0 {
+		return -math.SmallestNonzeroFloat64
+	}
+	return minLogRel
 }
 
 // Evaluate computes every §4 objective of a mapping on an instance.
@@ -235,17 +293,97 @@ func MinPeriod(in Instance, minLogRel float64) (Solution, error) {
 	return MinPeriodExec(in, minLogRel, Exec{})
 }
 
-// MinPeriodExec is MinPeriod with explicit execution options.
+// MinPeriodExec is MinPeriod with explicit execution options, using
+// the Auto method choice.
 func MinPeriodExec(in Instance, minLogRel float64, ex Exec) (Solution, error) {
+	return MinPeriodMethodExec(in, minLogRel, Auto, ex)
+}
+
+// MinPeriodMethodExec is MinPeriod with an explicit method: DP (the
+// exact §5.2 binary search, homogeneous only), Heuristic (the search
+// engine, any platform), or Auto (DP when the platform is homogeneous,
+// the search otherwise).
+func MinPeriodMethodExec(in Instance, minLogRel float64, m Method, ex Exec) (Solution, error) {
 	if err := in.Validate(); err != nil {
 		return Solution{}, err
 	}
-	mp, ev, err := dp.MinPeriodForReliabilityPar(ex.ctx(), in.Chain, in.Platform, minLogRel, ex.Parallelism)
-	if err != nil {
-		if errors.Is(err, dp.ErrInfeasible) {
-			return Solution{}, fmt.Errorf("%w: %v", ErrInfeasible, err)
+	if m == Auto {
+		if in.Platform.Homogeneous() {
+			m = DP
+		} else {
+			m = Heuristic
 		}
-		return Solution{}, err
 	}
-	return Solution{Method: "min-period", Mapping: mp, Eval: ev}, nil
+	switch m {
+	case DP:
+		mp, ev, err := dp.MinPeriodForReliabilityPar(ex.ctx(), in.Chain, in.Platform, minLogRel, ex.Parallelism)
+		if err != nil {
+			if errors.Is(err, dp.ErrInfeasible) {
+				return Solution{}, fmt.Errorf("%w: %v", ErrInfeasible, err)
+			}
+			return Solution{}, err
+		}
+		return Solution{Method: "min-period", Mapping: mp, Eval: ev}, nil
+	case Heuristic:
+		sopts := ex.SearchOptions()
+		sopts.MinLogRel = searchFloor(minLogRel)
+		res, ok, err := search.MinimizePeriod(in.Chain, in.Platform, sopts)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return Solution{}, fmt.Errorf("%w: heuristic search found no mapping meeting the reliability floor", ErrInfeasible)
+		}
+		return Solution{Method: "min-period-heuristic", Mapping: res.M, Eval: res.Ev}, nil
+	default:
+		return Solution{}, fmt.Errorf("core: min-period supports methods auto, dp and heuristic, not %v", m)
+	}
+}
+
+// MinimizeCostExec returns the cheapest mapping meeting a
+// log-reliability floor and the bounds. Method Exact runs the
+// enumerative solver of internal/cost (homogeneous platforms within
+// the partition-enumeration ceiling); Heuristic runs the search engine
+// (any platform, any size); Auto picks Exact when it applies and the
+// search otherwise.
+func MinimizeCostExec(in Instance, costs []float64, minLogRel float64, b Bounds, m Method, ex Exec) (cost.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return cost.Solution{}, err
+	}
+	if m == Auto {
+		if in.Platform.Homogeneous() && len(in.Chain) <= MaxExactTasks {
+			m = Exact
+		} else {
+			m = Heuristic
+		}
+	}
+	switch m {
+	case Exact:
+		if len(in.Chain) > MaxExactTasks {
+			return cost.Solution{}, fmt.Errorf("core: exact min-cost limited to %d tasks (2^{n-1} partitions); use the heuristic", MaxExactTasks)
+		}
+		sol, err := cost.Minimize(in.Chain, in.Platform, costs, minLogRel, b.Period, b.Latency)
+		if err != nil {
+			if errors.Is(err, cost.ErrInfeasible) {
+				return cost.Solution{}, fmt.Errorf("%w: %v", ErrInfeasible, err)
+			}
+			return cost.Solution{}, err
+		}
+		return sol, nil
+	case Heuristic:
+		sopts := ex.SearchOptions()
+		sopts.Period, sopts.Latency = b.Period, b.Latency
+		sopts.MinLogRel = searchFloor(minLogRel)
+		sopts.Costs = costs
+		res, ok, err := search.MinimizeCost(in.Chain, in.Platform, sopts)
+		if err != nil {
+			return cost.Solution{}, err
+		}
+		if !ok {
+			return cost.Solution{}, fmt.Errorf("%w: heuristic search found no mapping meeting the constraints", ErrInfeasible)
+		}
+		return cost.Solution{Mapping: res.M, Eval: res.Ev, TotalCost: res.TotalCost}, nil
+	default:
+		return cost.Solution{}, fmt.Errorf("core: min-cost supports methods auto, exact and heuristic, not %v", m)
+	}
 }

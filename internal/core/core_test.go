@@ -81,19 +81,41 @@ func TestOptimizeAutoSelection(t *testing.T) {
 	if sol.Method != "exact" {
 		t.Fatalf("auto picked %q, want exact", sol.Method)
 	}
-	// Heterogeneous: heuristics.
+	// Heterogeneous: the search engine.
 	sol, err = Optimize(hetInstance(6, 5), Bounds{}, Auto)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sol.Method != "best-heuristic" {
-		t.Fatalf("auto picked %q, want best-heuristic", sol.Method)
+	if sol.Method != "heuristic" {
+		t.Fatalf("auto picked %q, want heuristic", sol.Method)
+	}
+}
+
+func TestOptimizeHeuristicMethod(t *testing.T) {
+	in := homInstance(6, 5)
+	b := Bounds{Period: 200, Latency: 600}
+	solE, err := Optimize(in, b, Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Optimize(in, b, Heuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != "heuristic" {
+		t.Fatalf("method = %q", sol.Method)
+	}
+	if !sol.Eval.MeetsBounds(b.Period, b.Latency) {
+		t.Fatal("heuristic violates bounds")
+	}
+	if sol.Eval.LogRel > solE.Eval.LogRel+1e-9 {
+		t.Fatal("heuristic beat the exact optimum")
 	}
 }
 
 func TestOptimizeInfeasible(t *testing.T) {
 	in := homInstance(6, 5)
-	for _, m := range []Method{Exact, DP, ILP, HeurP, HeurL, BestHeuristic} {
+	for _, m := range []Method{Exact, DP, ILP, HeurP, HeurL, BestHeuristic, Heuristic} {
 		b := Bounds{Period: 1e-6}
 		if m == DP {
 			b = Bounds{Period: 1e-6}
@@ -151,14 +173,105 @@ func TestMinPeriod(t *testing.T) {
 	if sol.Eval.WorstPeriod <= 0 {
 		t.Fatalf("MinPeriod period = %v", sol.Eval.WorstPeriod)
 	}
-	// Heterogeneous: not supported.
-	if _, err := MinPeriod(hetInstance(5, 4), math.Inf(-1)); err == nil {
-		t.Fatal("MinPeriod accepted heterogeneous platform")
+	if sol.Method != "min-period" {
+		t.Fatalf("method = %q", sol.Method)
+	}
+	// Heterogeneous: auto falls back to the search engine.
+	het, err := MinPeriod(hetInstance(5, 4), math.Inf(-1))
+	if err != nil {
+		t.Fatalf("MinPeriod on heterogeneous platform: %v", err)
+	}
+	if het.Method != "min-period-heuristic" {
+		t.Fatalf("het method = %q", het.Method)
+	}
+	if het.Eval.WorstPeriod <= 0 {
+		t.Fatalf("het period = %v", het.Eval.WorstPeriod)
+	}
+	// Explicit DP on a heterogeneous platform still refuses.
+	if _, err := MinPeriodMethodExec(hetInstance(5, 4), math.Inf(-1), DP, Exec{}); err == nil {
+		t.Fatal("explicit DP accepted a heterogeneous platform")
+	}
+	// Unsupported method names fail loudly.
+	if _, err := MinPeriodMethodExec(homInstance(5, 4), math.Inf(-1), ILP, Exec{}); err == nil {
+		t.Fatal("min-period accepted ILP")
+	}
+}
+
+func TestMinimizeCostMethods(t *testing.T) {
+	in := Instance{
+		Chain:    chain.PaperRandom(rng.New(7), 6),
+		Platform: platform.PaperHomogeneous(6),
+	}
+	costs := []float64{5, 1, 4, 2, 3, 6}
+	floor := math.Log(0.999)
+	exactSol, err := MinimizeCostExec(in, costs, floor, Bounds{}, Exact, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heurSol, err := MinimizeCostExec(in, costs, floor, Bounds{}, Heuristic, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heurSol.TotalCost < exactSol.TotalCost-1e-9 {
+		t.Fatalf("heuristic cost %g below the proven optimum %g", heurSol.TotalCost, exactSol.TotalCost)
+	}
+	if heurSol.Eval.LogRel < floor {
+		t.Fatal("heuristic violates the reliability floor")
+	}
+	// Auto on a small homogeneous instance picks the exact solver.
+	autoSol, err := MinimizeCostExec(in, costs, floor, Bounds{}, Auto, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if autoSol.TotalCost != exactSol.TotalCost {
+		t.Fatalf("auto cost %g != exact %g", autoSol.TotalCost, exactSol.TotalCost)
+	}
+	// Heterogeneous platforms route to the search engine.
+	hin := hetInstance(6, 6)
+	hcosts := []float64{1, 2, 3, 4, 5, 6}
+	if _, err := MinimizeCostExec(hin, hcosts, floor, Bounds{}, Auto, Exec{}); err != nil {
+		t.Fatalf("auto min-cost on heterogeneous platform: %v", err)
+	}
+	if _, err := MinimizeCostExec(in, costs, floor, Bounds{}, DP, Exec{}); err == nil {
+		t.Fatal("min-cost accepted DP")
+	}
+	// Explicit Exact beyond the enumeration ceiling is refused up front
+	// (2^{n-1} partitions), mirroring Optimize's guard.
+	big := Instance{
+		Chain:    chain.PaperRandom(rng.New(2), MaxExactTasks+1),
+		Platform: platform.PaperHomogeneous(6),
+	}
+	bigCosts := make([]float64, 6)
+	if _, err := MinimizeCostExec(big, bigCosts, floor, Bounds{}, Exact, Exec{}); err == nil {
+		t.Fatalf("exact min-cost accepted %d tasks", MaxExactTasks+1)
+	}
+}
+
+// TestHeuristicReliabilityFloorOfOne pins the floor = 1.0 edge
+// (minLogRel = 0): the search must treat it as a hard constraint — not
+// silently unconstrained — matching the DP/exact paths. On a platform
+// with positive failure rates it is infeasible; on a zero-failure
+// platform it is met exactly.
+func TestHeuristicReliabilityFloorOfOne(t *testing.T) {
+	in := hetInstance(5, 4)
+	if _, err := MinPeriodMethodExec(in, 0, Heuristic, Exec{Budget: 300, Restarts: 2}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("floor=1 on a failing platform: err = %v, want ErrInfeasible", err)
+	}
+	perfect := Instance{
+		Chain:    chain.PaperRandom(rng.New(3), 6),
+		Platform: platform.Homogeneous(4, 1, 0, 1, 0, 2),
+	}
+	sol, err := MinPeriodMethodExec(perfect, 0, Heuristic, Exec{Budget: 300, Restarts: 2})
+	if err != nil {
+		t.Fatalf("floor=1 on a zero-failure platform: %v", err)
+	}
+	if sol.Eval.LogRel != 0 {
+		t.Fatalf("LogRel = %g, want exactly 0", sol.Eval.LogRel)
 	}
 }
 
 func TestMethodParseRoundTrip(t *testing.T) {
-	for _, m := range []Method{Auto, HeurP, HeurL, BestHeuristic, DP, Exact, ILP} {
+	for _, m := range []Method{Auto, HeurP, HeurL, BestHeuristic, DP, Exact, ILP, Heuristic} {
 		back, err := ParseMethod(m.String())
 		if err != nil {
 			t.Fatal(err)

@@ -173,6 +173,15 @@ func Evaluate(c chain.Chain, pl platform.Platform, m Mapping) (Eval, error) {
 	if err := m.Validate(c, pl); err != nil {
 		return Eval{}, err
 	}
+	return EvaluateUnchecked(c, pl, m), nil
+}
+
+// EvaluateUnchecked is Evaluate without the Validate pass, for callers
+// that construct mappings valid by construction and evaluate them in a
+// hot loop (the local-search engine proposes thousands of neighbor
+// mappings per solve; re-validating each would dominate the iteration
+// cost). The numbers are bit-identical to Evaluate's.
+func EvaluateUnchecked(c chain.Chain, pl platform.Platform, m Mapping) Eval {
 	var ev Eval
 	ev.Stages = make([]StageEval, len(m.Parts))
 	commMax := 0.0
@@ -206,7 +215,7 @@ func Evaluate(c chain.Chain, pl platform.Platform, m Mapping) (Eval, error) {
 		ev.WorstPeriod = commMax
 	}
 	ev.FailProb = failure.FromLogRel(ev.LogRel)
-	return ev, nil
+	return ev
 }
 
 // MeetsBounds reports whether the evaluation satisfies the given period

@@ -1,0 +1,138 @@
+package search
+
+import (
+	"sort"
+
+	"relpipe/internal/chain"
+	"relpipe/internal/frontier"
+	"relpipe/internal/mapping"
+	"relpipe/internal/platform"
+)
+
+// Frontier approximates the Pareto-optimal (period, latency,
+// reliability) trade-offs of an instance too large (or too
+// heterogeneous) for the exact enumeration: it gathers the heuristic
+// seed pool plus search-refined optima under a ladder of period bounds
+// drawn from the pool's own period range, evaluates every candidate,
+// and keeps the non-dominated ones. Points carry the real metrics of
+// their mappings; unlike the exact frontier they are a lower bound on
+// the true surface, not the surface itself. Deterministic under the
+// same contract as Optimize.
+func Frontier(c chain.Chain, pl platform.Platform, opts Options) ([]frontier.Point, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	opts.Period, opts.Latency = 0, 0
+	opts = opts.defaults(len(c))
+	prob := problem{c: c, pl: pl, opts: opts, obj: maxReliability}
+
+	seeds := prob.seedPool()
+	if len(seeds) == 0 {
+		return nil, nil
+	}
+	type cand struct {
+		m  mapping.Mapping
+		ev mapping.Eval
+	}
+	var cands []cand
+	for _, sc := range seeds {
+		m := sc.st.mapping()
+		cands = append(cands, cand{m: m, ev: mapping.EvaluateUnchecked(c, pl, m)})
+	}
+
+	// Refine under a ladder of period bounds spanning the seeds' period
+	// range: each rung is one full (restarts × budget) search, so the
+	// ladder is deliberately short.
+	periods := map[float64]bool{}
+	for _, cd := range cands {
+		periods[cd.ev.WorstPeriod] = true
+	}
+	rungs := make([]float64, 0, len(periods))
+	for pv := range periods {
+		rungs = append(rungs, pv)
+	}
+	sort.Float64s(rungs)
+	const maxRungs = 6
+	if len(rungs) > maxRungs {
+		sampled := make([]float64, 0, maxRungs)
+		for i := 0; i < maxRungs; i++ {
+			sampled = append(sampled, rungs[i*(len(rungs)-1)/(maxRungs-1)])
+		}
+		rungs = sampled
+	}
+	for _, bound := range rungs {
+		ropts := opts
+		ropts.Period = bound
+		res, ok, err := Optimize(c, pl, ropts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			cands = append(cands, cand{m: res.M, ev: res.Ev})
+		}
+	}
+
+	// Dominance filter on (period, latency, log-reliability).
+	pts := make([]frontier.Point, 0, len(cands))
+	for i, a := range cands {
+		dominated := false
+		for k, b := range cands {
+			if k == i {
+				continue
+			}
+			if dominates(b.ev, a.ev) || (k < i && equalEval(b.ev, a.ev)) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		pts = append(pts, frontier.Point{
+			Period:   a.ev.WorstPeriod,
+			Latency:  a.ev.WorstLatency,
+			FailProb: a.ev.FailProb,
+			LogRel:   a.ev.LogRel,
+			Ends:     a.m.Parts.Ends(),
+			Counts:   replicaCounts(a.m),
+		})
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].Period != pts[b].Period {
+			return pts[a].Period < pts[b].Period
+		}
+		if pts[a].Latency != pts[b].Latency {
+			return pts[a].Latency < pts[b].Latency
+		}
+		return pts[a].LogRel > pts[b].LogRel
+	})
+	return pts, nil
+}
+
+// dominates reports b strictly better-or-equal on all three criteria
+// and strictly better on at least one.
+func dominates(b, a mapping.Eval) bool {
+	if b.WorstPeriod > a.WorstPeriod || b.WorstLatency > a.WorstLatency || b.LogRel < a.LogRel {
+		return false
+	}
+	return b.WorstPeriod < a.WorstPeriod || b.WorstLatency < a.WorstLatency || b.LogRel > a.LogRel
+}
+
+func equalEval(b, a mapping.Eval) bool {
+	return b.WorstPeriod == a.WorstPeriod && b.WorstLatency == a.WorstLatency && b.LogRel == a.LogRel
+}
+
+// replicaCounts extracts the per-interval replica counts; note that on
+// heterogeneous platforms Point.Mapping()'s sequential re-assignment is
+// only representative — the recorded metrics come from the actual
+// mapping.
+func replicaCounts(m mapping.Mapping) []int {
+	counts := make([]int, len(m.Procs))
+	for j, ps := range m.Procs {
+		counts[j] = len(ps)
+	}
+	return counts
+}

@@ -1,0 +1,283 @@
+package search
+
+import (
+	"relpipe/internal/interval"
+	"relpipe/internal/rng"
+)
+
+// The neighborhoods. Every move returns a fresh state (the input is
+// never mutated) and reports whether it produced a valid neighbor:
+//
+//   - moveBoundary shifts one interval boundary by one task;
+//   - mergeIntervals fuses two adjacent intervals (surplus replicas
+//     over K return to the pool);
+//   - splitInterval cuts an interval in two, staffing the new half
+//     from the pool or from the interval's own surplus replicas;
+//   - swapReplica exchanges a used processor for an unused one;
+//   - addReplica / dropReplica grow or shrink one interval's replica
+//     set within [1, K];
+//   - stealReplica moves a replica from one interval to another.
+//
+// Mappings stay valid by construction: the partition always tiles the
+// chain, every interval keeps 1..K replicas, and a processor serves at
+// most one interval. The Allowed constraint is consulted whenever a
+// processor is granted to an interval index.
+
+// moveKind identifies one neighborhood.
+type moveKind int
+
+const (
+	moveBoundary moveKind = iota
+	mergeIntervals
+	splitInterval
+	swapReplica
+	addReplica
+	dropReplica
+	stealReplica
+)
+
+// moveTable lists each neighborhood with a draw weight per objective:
+// reliability and period searches favour structure and replication
+// moves, the cost search favours replica-shedding ones.
+var moveWeights = map[objective][]moveKind{
+	maxReliability: weighted(3, moveBoundary, 2, splitInterval, 2, mergeIntervals,
+		3, addReplica, 2, swapReplica, 2, stealReplica, 1, dropReplica),
+	minPeriod: weighted(4, moveBoundary, 3, splitInterval, 2, mergeIntervals,
+		2, addReplica, 2, swapReplica, 2, stealReplica, 1, dropReplica),
+	minCost: weighted(2, moveBoundary, 1, splitInterval, 3, mergeIntervals,
+		1, addReplica, 2, swapReplica, 2, stealReplica, 3, dropReplica),
+}
+
+func weighted(pairs ...any) []moveKind {
+	var out []moveKind
+	for i := 0; i < len(pairs); i += 2 {
+		w := pairs[i].(int)
+		k := pairs[i+1].(moveKind)
+		for j := 0; j < w; j++ {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// allowed applies the optional constraint.
+func (p problem) allowed(j, u int) bool {
+	return p.opts.Allowed == nil || p.opts.Allowed(j, u)
+}
+
+// allowedFrom re-checks the constraint for every interval at index >=
+// from. Merging or splitting shifts the indices of all subsequent
+// intervals, and Allowed is defined on (interval index, processor) —
+// an assignment legal at index j+1 may be illegal once the interval
+// sits at index j. Moves that shift indices must reject neighbors that
+// would break the constraint, or the search could return a mapping no
+// validator can flag (mapping.Validate knows nothing about Allowed).
+func (p problem) allowedFrom(s state, from int) bool {
+	if p.opts.Allowed == nil {
+		return true
+	}
+	for j := from; j < len(s.procs); j++ {
+		for _, u := range s.procs[j] {
+			if !p.opts.Allowed(j, u) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// propose draws neighborhoods until one yields a valid neighbor, with
+// a bounded number of attempts (a failed attempt costs one iteration).
+func (p problem) propose(s state, r *rng.Rand) (state, bool) {
+	table := moveWeights[p.obj]
+	for attempt := 0; attempt < 8; attempt++ {
+		var next state
+		var ok bool
+		switch table[r.IntN(len(table))] {
+		case moveBoundary:
+			next, ok = p.moveBoundary(s, r)
+		case mergeIntervals:
+			next, ok = p.mergeIntervals(s, r)
+		case splitInterval:
+			next, ok = p.splitInterval(s, r)
+		case swapReplica:
+			next, ok = p.swapReplica(s, r)
+		case addReplica:
+			next, ok = p.addReplica(s, r)
+		case dropReplica:
+			next, ok = p.dropReplica(s, r)
+		case stealReplica:
+			next, ok = p.stealReplica(s, r)
+		}
+		if ok {
+			return next, true
+		}
+	}
+	return state{}, false
+}
+
+func (p problem) moveBoundary(s state, r *rng.Rand) (state, bool) {
+	m := len(s.parts)
+	if m < 2 {
+		return state{}, false
+	}
+	b := r.IntN(m - 1) // boundary between intervals b and b+1
+	right := r.IntN(2) == 0
+	if right {
+		if s.parts[b+1].Size() < 2 {
+			return state{}, false
+		}
+	} else if s.parts[b].Size() < 2 {
+		return state{}, false
+	}
+	next := s.clone()
+	if right {
+		next.parts[b].Last++
+		next.parts[b+1].First++
+	} else {
+		next.parts[b].Last--
+		next.parts[b+1].First--
+	}
+	return next, true
+}
+
+func (p problem) mergeIntervals(s state, r *rng.Rand) (state, bool) {
+	m := len(s.parts)
+	if m < 2 {
+		return state{}, false
+	}
+	j := r.IntN(m - 1)
+	k := p.pl.MaxReplicas
+	var kept, freed []int
+	for _, u := range append(append([]int(nil), s.procs[j]...), s.procs[j+1]...) {
+		if len(kept) < k && p.allowed(j, u) {
+			kept = append(kept, u)
+		} else {
+			freed = append(freed, u)
+		}
+	}
+	if len(kept) == 0 {
+		return state{}, false
+	}
+	next := s.clone()
+	next.parts[j].Last = next.parts[j+1].Last
+	next.parts = append(next.parts[:j+1], next.parts[j+2:]...)
+	next.procs[j] = kept
+	next.procs = append(next.procs[:j+1], next.procs[j+2:]...)
+	next.unused = append(next.unused, freed...)
+	if !p.allowedFrom(next, j+1) { // intervals past j shifted down one index
+		return state{}, false
+	}
+	return next, true
+}
+
+func (p problem) splitInterval(s state, r *rng.Rand) (state, bool) {
+	m := len(s.parts)
+	j := r.IntN(m)
+	size := s.parts[j].Size()
+	if size < 2 {
+		return state{}, false
+	}
+	cut := s.parts[j].First + r.IntN(size-1) // last task of the left half
+
+	// Staff the right half: an unused allowed processor, else a surplus
+	// replica of the split interval itself.
+	next := s.clone()
+	rightProc := -1
+	if len(next.unused) > 0 {
+		start := r.IntN(len(next.unused))
+		for i := 0; i < len(next.unused); i++ {
+			idx := (start + i) % len(next.unused)
+			if p.allowed(j+1, next.unused[idx]) {
+				rightProc = next.unused[idx]
+				next.unused = append(next.unused[:idx], next.unused[idx+1:]...)
+				break
+			}
+		}
+	}
+	if rightProc < 0 {
+		if len(next.procs[j]) < 2 {
+			return state{}, false
+		}
+		last := len(next.procs[j]) - 1
+		if !p.allowed(j+1, next.procs[j][last]) {
+			return state{}, false
+		}
+		rightProc = next.procs[j][last]
+		next.procs[j] = next.procs[j][:last]
+	}
+
+	left := interval.Interval{First: next.parts[j].First, Last: cut}
+	rightIv := interval.Interval{First: cut + 1, Last: next.parts[j].Last}
+	next.parts = append(next.parts[:j], append(interval.Partition{left, rightIv}, next.parts[j+1:]...)...)
+	next.procs = append(next.procs[:j], append([][]int{next.procs[j], {rightProc}}, next.procs[j+1:]...)...)
+	if !p.allowedFrom(next, j+2) { // intervals past j shifted up one index
+		return state{}, false
+	}
+	return next, true
+}
+
+func (p problem) swapReplica(s state, r *rng.Rand) (state, bool) {
+	if len(s.unused) == 0 {
+		return state{}, false
+	}
+	j := r.IntN(len(s.parts))
+	ri := r.IntN(len(s.procs[j]))
+	ui := r.IntN(len(s.unused))
+	if !p.allowed(j, s.unused[ui]) {
+		return state{}, false
+	}
+	next := s.clone()
+	next.procs[j][ri], next.unused[ui] = next.unused[ui], next.procs[j][ri]
+	return next, true
+}
+
+func (p problem) addReplica(s state, r *rng.Rand) (state, bool) {
+	if len(s.unused) == 0 {
+		return state{}, false
+	}
+	j := r.IntN(len(s.parts))
+	if len(s.procs[j]) >= p.pl.MaxReplicas {
+		return state{}, false
+	}
+	ui := r.IntN(len(s.unused))
+	if !p.allowed(j, s.unused[ui]) {
+		return state{}, false
+	}
+	next := s.clone()
+	next.procs[j] = append(next.procs[j], next.unused[ui])
+	next.unused = append(next.unused[:ui], next.unused[ui+1:]...)
+	return next, true
+}
+
+func (p problem) dropReplica(s state, r *rng.Rand) (state, bool) {
+	j := r.IntN(len(s.parts))
+	if len(s.procs[j]) < 2 {
+		return state{}, false
+	}
+	ri := r.IntN(len(s.procs[j]))
+	next := s.clone()
+	next.unused = append(next.unused, next.procs[j][ri])
+	next.procs[j] = append(next.procs[j][:ri], next.procs[j][ri+1:]...)
+	return next, true
+}
+
+func (p problem) stealReplica(s state, r *rng.Rand) (state, bool) {
+	m := len(s.parts)
+	if m < 2 {
+		return state{}, false
+	}
+	src := r.IntN(m)
+	dst := r.IntN(m)
+	if src == dst || len(s.procs[src]) < 2 || len(s.procs[dst]) >= p.pl.MaxReplicas {
+		return state{}, false
+	}
+	ri := r.IntN(len(s.procs[src]))
+	if !p.allowed(dst, s.procs[src][ri]) {
+		return state{}, false
+	}
+	next := s.clone()
+	next.procs[dst] = append(next.procs[dst], next.procs[src][ri])
+	next.procs[src] = append(next.procs[src][:ri], next.procs[src][ri+1:]...)
+	return next, true
+}

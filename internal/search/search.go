@@ -1,0 +1,523 @@
+// Package search is the large-n solve path: a scalable heuristic
+// optimizer for instances far beyond the exact solvers' 2^{n-1}
+// enumeration ceiling (~22 tasks). It seeds from the paper's §7
+// heuristics (Heur-L / Heur-P candidates over a sampled range of
+// interval counts), refines each seed with simulated-annealing-style
+// local search over interval boundaries and processor/replica
+// allocation, and runs a random-restart portfolio across internal/par
+// shards with a deterministic best-of reduce — so the result is
+// bit-identical at any parallelism degree for a fixed seed.
+//
+// Three objectives share the engine:
+//
+//   - Optimize: maximize reliability under period/latency bounds
+//     (the §6 general problem, NP-complete — Theorem 5);
+//   - MinimizePeriod: minimize the worst-case period under a
+//     reliability floor and optional latency bound (§5.2 converse,
+//     heterogeneous or large-n variant);
+//   - MinimizeCost: minimize the total price of the enrolled
+//     processors under a reliability floor and bounds (the §9
+//     resource-cost extension, beyond internal/cost's enumeration).
+//
+// Determinism contract: with the default iteration/plateau budgets the
+// result depends only on (instance, Options minus Parallelism/Context).
+// A wall-clock TimeBudget is a safety cap: when it fires mid-run the
+// result is still valid and feasible but may differ across machines and
+// degrees (Stats.Truncated reports it).
+package search
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"relpipe/internal/alloc"
+	"relpipe/internal/chain"
+	"relpipe/internal/heur"
+	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
+	"relpipe/internal/par"
+	"relpipe/internal/platform"
+	"relpipe/internal/rng"
+)
+
+// Options configures one search run. The zero value asks for the
+// defaults noted on each field.
+type Options struct {
+	// Period and Latency bound the mapping (worst-case metrics);
+	// values <= 0 are unconstrained. MinimizePeriod ignores Period
+	// (the period is the objective).
+	Period, Latency float64
+	// MinLogRel is the log-reliability floor of MinimizePeriod and
+	// MinimizeCost (Optimize ignores it). Log-reliabilities are
+	// negative, so any value >= 0 means unconstrained.
+	MinLogRel float64
+	// Costs prices each processor for MinimizeCost (len == P).
+	Costs []float64
+	// Allowed optionally restricts which processor may serve which
+	// interval index (§7.2); nil allows everything. The constraint is
+	// consulted whenever a move grants a processor to an interval,
+	// against the interval's index in the current partition.
+	Allowed alloc.Constraint
+
+	// Restarts is the portfolio size (default 8). Restart 0 refines
+	// the best heuristic seed; later restarts cycle through the seed
+	// pool and add deterministic random perturbations.
+	Restarts int
+	// Budget is the per-restart iteration budget (default
+	// clamp(40·n, 2000, 20000)).
+	Budget int
+	// Plateau stops a restart early after this many iterations
+	// without improving its best (default max(500, Budget/4)).
+	Plateau int
+	// Seed drives every random choice; equal seeds give equal
+	// results at any parallelism. 0 selects the default seed 1, so
+	// the zero Options value and the CLIs' `-search-seed 1` default
+	// solve identically across every layer.
+	Seed uint64
+	// TimeBudget caps the wall-clock time of the whole portfolio
+	// (0 = none). Restarts poll it and return their best-so-far; a
+	// truncated run is valid but no longer parallelism-independent.
+	TimeBudget time.Duration
+
+	// Parallelism caps the portfolio's worker goroutines
+	// (0 = GOMAXPROCS, negative = sequential); it never changes the
+	// result. Context cancels the run mid-restart; nil means no
+	// cancellation.
+	Parallelism int
+	Context     context.Context
+}
+
+// Stats reports how a search run spent its budget.
+type Stats struct {
+	// Restarts actually launched (== Options.Restarts after defaults).
+	Restarts int `json:"restarts"`
+	// Iterations summed over every restart.
+	Iterations int64 `json:"iterations"`
+	// SeedScore is the best raw heuristic candidate's score before any
+	// local search (the baseline the search must beat).
+	SeedScore float64 `json:"seedScore"`
+	// BestScore is the returned mapping's score.
+	BestScore float64 `json:"bestScore"`
+	// Truncated reports that TimeBudget fired before the iteration
+	// budgets were exhausted.
+	Truncated bool `json:"truncated"`
+}
+
+// Result is the outcome of a search run.
+type Result struct {
+	M  mapping.Mapping
+	Ev mapping.Eval
+	// TotalCost is the enrolled-processor cost (MinimizeCost only).
+	TotalCost float64
+	Stats     Stats
+}
+
+// objective selects what the engine optimizes and which constraints
+// define feasibility.
+type objective int
+
+const (
+	maxReliability objective = iota
+	minPeriod
+	minCost
+)
+
+// defaults resolves the budget knobs for a chain of n tasks.
+func (o Options) defaults(n int) Options {
+	if o.Restarts <= 0 {
+		o.Restarts = 8
+	}
+	if o.Budget <= 0 {
+		o.Budget = 40 * n
+		if o.Budget < 2000 {
+			o.Budget = 2000
+		}
+		if o.Budget > 20000 {
+			o.Budget = 20000
+		}
+	}
+	if o.Plateau <= 0 {
+		o.Plateau = o.Budget / 4
+		if o.Plateau < 500 {
+			o.Plateau = 500
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Optimize maximizes reliability under the Period/Latency bounds.
+// ok is false when the search found no mapping meeting the bounds.
+func Optimize(c chain.Chain, pl platform.Platform, opts Options) (Result, bool, error) {
+	return run(c, pl, opts, maxReliability)
+}
+
+// MinimizePeriod minimizes the worst-case period subject to the
+// MinLogRel reliability floor and the optional Latency bound.
+func MinimizePeriod(c chain.Chain, pl platform.Platform, opts Options) (Result, bool, error) {
+	return run(c, pl, opts, minPeriod)
+}
+
+// MinimizeCost minimizes the total price of the enrolled processors
+// (opts.Costs) subject to the MinLogRel floor and the bounds.
+func MinimizeCost(c chain.Chain, pl platform.Platform, opts Options) (Result, bool, error) {
+	if len(opts.Costs) != pl.P() {
+		return Result{}, false, fmt.Errorf("search: %d costs for %d processors", len(opts.Costs), pl.P())
+	}
+	for u, cu := range opts.Costs {
+		if cu < 0 {
+			return Result{}, false, fmt.Errorf("search: negative cost %v for processor %d", cu, u)
+		}
+	}
+	return run(c, pl, opts, minCost)
+}
+
+// restartOut is one restart's best state, reduced deterministically.
+type restartOut struct {
+	score     float64
+	m         mapping.Mapping
+	cost      float64
+	iters     int
+	truncated bool
+}
+
+// run drives the shared pipeline: validate, seed, portfolio, reduce.
+func run(c chain.Chain, pl platform.Platform, opts Options, obj objective) (Result, bool, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, false, err
+	}
+	if err := pl.Validate(); err != nil {
+		return Result{}, false, err
+	}
+	opts = opts.defaults(len(c))
+	prob := problem{c: c, pl: pl, opts: opts, obj: obj}
+
+	seeds := prob.seedPool()
+	if len(seeds) == 0 {
+		// Not even an unconstrained single-interval allocation exists
+		// (e.g. Allowed forbids every processor): no mapping at all.
+		return Result{}, false, nil
+	}
+	seedScore := seeds[0].score
+
+	var deadline time.Time
+	if opts.TimeBudget > 0 {
+		deadline = time.Now().Add(opts.TimeBudget)
+	}
+
+	outs, err := par.Map(opts.Context, opts.Parallelism, opts.Restarts, func(r int) (restartOut, error) {
+		return prob.restart(r, seeds, deadline)
+	})
+	if err != nil {
+		return Result{}, false, err
+	}
+
+	// Deterministic best-of reduce: highest score wins, ties go to the
+	// lowest restart index (par.Map returns results in index order).
+	best := outs[0]
+	var iters int64
+	truncated := false
+	for i, o := range outs {
+		iters += int64(o.iters)
+		truncated = truncated || o.truncated
+		if i > 0 && o.score > best.score {
+			best = o
+		}
+	}
+
+	// Re-evaluate through the validating path: the engine's own
+	// bookkeeping must agree, and downstream callers receive an Eval
+	// they could have computed themselves.
+	ev, err := mapping.Evaluate(c, pl, best.m)
+	if err != nil {
+		return Result{}, false, err
+	}
+	res := Result{
+		M: best.m, Ev: ev, TotalCost: best.cost,
+		Stats: Stats{
+			Restarts: opts.Restarts, Iterations: iters,
+			SeedScore: seedScore, BestScore: best.score, Truncated: truncated,
+		},
+	}
+	return res, prob.feasible(ev), nil
+}
+
+// problem bundles the immutable inputs of one run.
+type problem struct {
+	c    chain.Chain
+	pl   platform.Platform
+	opts Options
+	obj  objective
+}
+
+// minLogRel returns the effective reliability floor (-Inf when
+// unconstrained; values >= 0 mean unconstrained by convention).
+func (p problem) minLogRel() float64 {
+	if p.obj == maxReliability || p.opts.MinLogRel >= 0 {
+		return math.Inf(-1)
+	}
+	return p.opts.MinLogRel
+}
+
+// violation measures how far an evaluation is from feasibility (0 when
+// feasible). Terms are normalized so one violated constraint cannot
+// drown out progress on another.
+func (p problem) violation(ev mapping.Eval) float64 {
+	v := 0.0
+	if p.obj != minPeriod && p.opts.Period > 0 && ev.WorstPeriod > p.opts.Period {
+		v += (ev.WorstPeriod - p.opts.Period) / p.opts.Period
+	}
+	if p.opts.Latency > 0 && ev.WorstLatency > p.opts.Latency {
+		v += (ev.WorstLatency - p.opts.Latency) / p.opts.Latency
+	}
+	if floor := p.minLogRel(); ev.LogRel < floor {
+		v += floor - ev.LogRel // both finite or LogRel=-Inf → +Inf
+	}
+	return v
+}
+
+func (p problem) feasible(ev mapping.Eval) bool { return p.violation(ev) == 0 }
+
+// infeasiblePenalty separates every infeasible score from every
+// feasible one: feasible scores are -WorstPeriod, -cost or LogRel, all
+// far above this base in any realistic instance. The magnitude is
+// deliberately modest — float64 resolution at 1e18 is 128, which would
+// absorb any normalized violation below ~64 and erase the repair
+// gradient; at 1e9 the multiplicative encoding below resolves
+// violations down to ~1e-9 relative.
+const infeasiblePenalty = -1e9
+
+// score maps an evaluation to the scalar the annealer maximizes.
+// Infeasible states score infeasiblePenalty·(1+violation): always
+// below any realistic feasible score, and monotonically decreasing in
+// the violation so the annealer can descend toward feasibility.
+func (p problem) score(ev mapping.Eval, cost float64) float64 {
+	if v := p.violation(ev); v > 0 {
+		return infeasiblePenalty * (1 + v)
+	}
+	switch p.obj {
+	case minPeriod:
+		return -ev.WorstPeriod
+	case minCost:
+		return -cost
+	default:
+		return ev.LogRel
+	}
+}
+
+// cost totals the enrolled-processor prices of a mapping (0 outside
+// the minCost objective).
+func (p problem) cost(procs [][]int) float64 {
+	if p.obj != minCost {
+		return 0
+	}
+	s := 0.0
+	for _, ps := range procs {
+		for _, u := range ps {
+			s += p.opts.Costs[u]
+		}
+	}
+	return s
+}
+
+// seedCandidate is one heuristic candidate with its score.
+type seedCandidate struct {
+	st    state
+	score float64
+}
+
+// sampledM picks the interval counts the seed pool tries: every count
+// up to 24, then a ×1.25 geometric ladder to maxM, so the Heur-P
+// O(n²m) dynamic program stays tractable on 500-stage chains.
+func sampledM(maxM int) []int {
+	const dense = 24
+	n := maxM
+	if n > dense {
+		n = dense
+	}
+	ms := make([]int, n)
+	for i := range ms {
+		ms[i] = i + 1
+	}
+	if maxM <= dense {
+		return ms
+	}
+	for m := dense * 5 / 4; m < maxM; m = m * 5 / 4 {
+		ms = append(ms, m)
+	}
+	return append(ms, maxM)
+}
+
+// seedPool generates the Heur-L / Heur-P candidates over the sampled
+// interval counts, scores them, and returns them best first. The
+// allocation honours the period bound when the objective keeps it as a
+// constraint; if no bounded allocation exists anywhere, unbounded
+// allocations are admitted so the annealer can start from an
+// infeasible state and repair it.
+func (p problem) seedPool() []seedCandidate {
+	maxM := len(p.c)
+	if p.pl.P() < maxM {
+		maxM = p.pl.P()
+	}
+	heurPeriod := p.opts.Period
+	if p.obj == minPeriod {
+		heurPeriod = 0
+	}
+	pool := p.candidates(maxM, heurPeriod)
+	if len(pool) == 0 && heurPeriod > 0 {
+		pool = p.candidates(maxM, 0)
+	}
+	sort.SliceStable(pool, func(a, b int) bool { return pool[a].score > pool[b].score })
+	return pool
+}
+
+func (p problem) candidates(maxM int, heurPeriod float64) []seedCandidate {
+	hopts := heur.Options{Period: heurPeriod, Allowed: p.opts.Allowed}
+	var pool []seedCandidate
+	for _, m := range sampledM(maxM) {
+		for _, latencyOriented := range []bool{false, true} {
+			res, ok := heur.Candidate(p.c, p.pl, m, latencyOriented, hopts)
+			if !ok {
+				continue
+			}
+			st := newState(p.pl, res.M)
+			pool = append(pool, seedCandidate{st: st, score: p.score(res.Ev, p.cost(res.M.Procs))})
+		}
+	}
+	return pool
+}
+
+// restartRng returns the deterministic generator of restart r: a fixed
+// function of (Seed, r) only, so scheduling never shifts a stream.
+func restartRng(seed uint64, r int) *rng.Rand {
+	return rng.New(seed + 0x9E3779B97F4A7C15*uint64(r+1))
+}
+
+// restart runs one annealing pass from its assigned seed candidate.
+func (p problem) restart(r int, seeds []seedCandidate, deadline time.Time) (restartOut, error) {
+	rand := restartRng(p.opts.Seed, r)
+	st := seeds[r%len(seeds)].st.clone()
+
+	// Later cycles through the pool diversify by random perturbation:
+	// a burst of unconditionally-accepted moves.
+	if r >= len(seeds) {
+		kicks := 2 + rand.IntN(6)
+		for i := 0; i < kicks; i++ {
+			if next, ok := p.propose(st, rand); ok {
+				st = next
+			}
+		}
+	}
+
+	cur := st
+	curCost := p.cost(cur.procs)
+	curScore := p.score(mapping.EvaluateUnchecked(p.c, p.pl, cur.mapping()), curCost)
+	best, bestCost, bestScore := cur.clone(), curCost, curScore
+
+	// Temperature scale: a few percent of the current objective
+	// magnitude (or the violation, when starting infeasible), decaying
+	// geometrically to 1e-3 of itself over the budget.
+	t0 := 0.05 * math.Max(1e-9, scoreMagnitude(curScore))
+	budget := p.opts.Budget
+	out := restartOut{}
+	plateau := 0
+	for it := 0; it < budget; it++ {
+		out.iters++
+		if it&255 == 0 {
+			if ctx := p.opts.Context; ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return restartOut{}, err
+				}
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				out.truncated = true
+				break
+			}
+		}
+		next, ok := p.propose(cur, rand)
+		if !ok {
+			continue
+		}
+		nextCost := p.cost(next.procs)
+		nextScore := p.score(mapping.EvaluateUnchecked(p.c, p.pl, next.mapping()), nextCost)
+		delta := nextScore - curScore
+		if delta >= 0 || rand.Float64() < math.Exp(delta/temperature(t0, it, budget)) {
+			cur, curCost, curScore = next, nextCost, nextScore
+		}
+		if curScore > bestScore {
+			best, bestCost, bestScore = cur.clone(), curCost, curScore
+			plateau = 0
+		} else if plateau++; plateau > p.opts.Plateau {
+			break
+		}
+	}
+	out.score = bestScore
+	out.m = best.mapping()
+	out.cost = bestCost
+	return out, nil
+}
+
+// scoreMagnitude strips the infeasibility base so the temperature
+// reflects the active objective's scale (for an infeasible start, the
+// violation term).
+func scoreMagnitude(score float64) float64 {
+	if score <= infeasiblePenalty {
+		return score/infeasiblePenalty - 1
+	}
+	return math.Abs(score)
+}
+
+// temperature is the geometric cooling schedule.
+func temperature(t0 float64, it, budget int) float64 {
+	return t0 * math.Pow(1e-3, float64(it)/float64(budget))
+}
+
+// state is one point of the search space: a partition with its replica
+// sets, plus the pool of unused processors (kept in deterministic
+// order — every mutation is a pure function of the restart's rng).
+type state struct {
+	parts  interval.Partition
+	procs  [][]int
+	unused []int
+}
+
+func newState(pl platform.Platform, m mapping.Mapping) state {
+	used := make([]bool, pl.P())
+	for _, ps := range m.Procs {
+		for _, u := range ps {
+			used[u] = true
+		}
+	}
+	var unused []int
+	for u := 0; u < pl.P(); u++ {
+		if !used[u] {
+			unused = append(unused, u)
+		}
+	}
+	return state{parts: m.Parts.Clone(), procs: cloneProcs(m.Procs), unused: unused}
+}
+
+func cloneProcs(procs [][]int) [][]int {
+	out := make([][]int, len(procs))
+	for j, ps := range procs {
+		out[j] = append([]int(nil), ps...)
+	}
+	return out
+}
+
+func (s state) clone() state {
+	return state{
+		parts:  s.parts.Clone(),
+		procs:  cloneProcs(s.procs),
+		unused: append([]int(nil), s.unused...),
+	}
+}
+
+func (s state) mapping() mapping.Mapping {
+	return mapping.Mapping{Parts: s.parts, Procs: s.procs}
+}

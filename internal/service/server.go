@@ -66,6 +66,13 @@ type Options struct {
 	// allocates per-replication state up front, so an unbounded value
 	// would let one small request exhaust memory.
 	MaxReplications int
+	// MaxSearchRestarts and MaxSearchBudget cap the heuristic-search
+	// knobs one request may ask for (defaults 32 restarts, 200000
+	// iterations per restart); like MaxReplications they keep a single
+	// request from monopolizing a worker slot. Requests above the caps
+	// get 400.
+	MaxSearchRestarts int
+	MaxSearchBudget   int
 	// SolverParallelism is the per-request parallelism budget handed to
 	// the solvers (relpipe.Options.Parallelism): how many goroutines one
 	// solve may use inside its worker slot. The default,
@@ -94,6 +101,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxReplications <= 0 {
 		o.MaxReplications = 1024
+	}
+	if o.MaxSearchRestarts <= 0 {
+		o.MaxSearchRestarts = 32
+	}
+	if o.MaxSearchBudget <= 0 {
+		o.MaxSearchBudget = 200000
 	}
 	return o
 }
@@ -134,6 +147,8 @@ func NewServer(opts Options) *Server {
 		s.exec.parallelism = max(1, runtime.GOMAXPROCS(0)/s.workers)
 	}
 	s.exec.maxReplications = opts.MaxReplications
+	s.exec.maxSearchRestarts = opts.MaxSearchRestarts
+	s.exec.maxSearchBudget = opts.MaxSearchBudget
 	s.pool = NewPool(s.workers, opts.QueueSize, m)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.solveHandler("optimize", parseOptimize))
@@ -164,14 +179,80 @@ func (s *Server) Close() { s.pool.Close() }
 // execOpts is the execution budget handed to every solve closure: the
 // solver-level parallelism one request may use inside its worker slot
 // (never part of cache keys because parallelism never changes a
-// solver's answer) and the per-request replication cap.
+// solver's answer) and the per-request replication and search caps.
 type execOpts struct {
-	parallelism     int
-	maxReplications int
+	parallelism       int
+	maxReplications   int
+	maxSearchRestarts int
+	maxSearchBudget   int
 }
 
 func (e execOpts) options() relpipe.Options {
 	return relpipe.Options{Parallelism: e.parallelism}
+}
+
+// searchOptions validates a request's search knobs against the
+// server's caps and folds them into the solver options. The returned
+// key fragment enters the cache key: search results depend on the
+// knobs (but never on parallelism).
+//
+// No TimeBudget is imposed: a wall-clock cap would make the result
+// depend on machine load, and a truncated answer cached under the
+// deterministic seed-keyed entry would poison the cache (two replicas
+// would serve different mappings for the same request forever). The
+// caps instead bound the worst case by iteration count — at the
+// defaults, restarts × budget is the same order of work as a
+// worst-case exact solve, the occupancy the service has always
+// accepted; operators can lower -search-restarts/-search-budget.
+func (e execOpts) searchOptions(sp *relpipe.SearchParams) (relpipe.Options, string, error) {
+	o := e.options()
+	if sp == nil {
+		return o, "|sr=0,sb=0,ss=0", nil
+	}
+	if sp.Restarts < 0 || sp.Budget < 0 {
+		return o, "", fmt.Errorf("search: negative restarts or budget")
+	}
+	if sp.Restarts > e.maxSearchRestarts {
+		return o, "", fmt.Errorf("search: %d restarts exceeds limit %d", sp.Restarts, e.maxSearchRestarts)
+	}
+	if sp.Budget > e.maxSearchBudget {
+		return o, "", fmt.Errorf("search: budget %d exceeds limit %d", sp.Budget, e.maxSearchBudget)
+	}
+	o.Restarts, o.Budget, o.Seed = sp.Restarts, sp.Budget, sp.Seed
+	return o, fmt.Sprintf("|sr=%d,sb=%d,ss=%d", sp.Restarts, sp.Budget, sp.Seed), nil
+}
+
+// searchSensitive reports whether a method's answer can depend on the
+// search knobs: the explicit heuristic, or auto (which may route
+// there). Exact/DP/ILP answers never do, so their cache keys omit the
+// knobs — identical solves with and without an (ignored) search block
+// share one entry, the same reasoning that keeps parallelism out of
+// every key.
+func searchSensitive(m relpipe.Method) bool {
+	return m == relpipe.Heuristic || m == relpipe.Auto
+}
+
+// parseSolveMethod is the shared method/search-knob handling of the
+// optimize, minperiod and mincost parsers: default the method name to
+// auto, validate the search knobs against the caps, and build the
+// method's cache-key fragment (search knobs included only when the
+// method is search-sensitive).
+func parseSolveMethod(methodStr string, sp *relpipe.SearchParams, ex execOpts) (relpipe.Method, relpipe.Options, string, error) {
+	if methodStr == "" {
+		methodStr = "auto"
+	}
+	method, err := relpipe.ParseMethod(methodStr)
+	if err != nil {
+		return method, relpipe.Options{}, "", err
+	}
+	opts, searchKey, err := ex.searchOptions(sp)
+	if err != nil {
+		return method, relpipe.Options{}, "", err
+	}
+	if !searchSensitive(method) {
+		searchKey = ""
+	}
+	return method, opts, "|m=" + method.String() + searchKey, nil
 }
 
 // parser turns a decoded request body into a canonical cache key and a
@@ -330,16 +411,13 @@ func parseOptimize(body []byte, ex execOpts) (string, func() (any, error), error
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
 	}
-	if req.Method == "" {
-		req.Method = "auto"
-	}
-	method, err := relpipe.ParseMethod(req.Method)
+	method, opts, methodKey, err := parseSolveMethod(req.Method, req.Search, ex)
 	if err != nil {
 		return "", nil, err
 	}
-	key := req.Instance.Canonical() + "|m=" + method.String() + "|" + floatKey(req.Bounds.Period, req.Bounds.Latency)
+	key := req.Instance.Canonical() + methodKey + "|" + floatKey(req.Bounds.Period, req.Bounds.Latency)
 	return key, func() (any, error) {
-		sol, err := relpipe.OptimizeWith(req.Instance, req.Bounds, method, ex.options())
+		sol, err := relpipe.OptimizeWith(req.Instance, req.Bounds, method, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -367,9 +445,13 @@ func parseMinPeriod(body []byte, ex execOpts) (string, func() (any, error), erro
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
 	}
-	key := req.Instance.Canonical() + "|" + floatKey(req.MinReliability)
+	method, opts, methodKey, err := parseSolveMethod(req.Method, req.Search, ex)
+	if err != nil {
+		return "", nil, err
+	}
+	key := req.Instance.Canonical() + methodKey + "|" + floatKey(req.MinReliability)
 	return key, func() (any, error) {
-		sol, err := relpipe.MinPeriodWith(req.Instance, req.MinReliability, ex.options())
+		sol, err := relpipe.MinPeriodMethod(req.Instance, req.MinReliability, method, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -391,15 +473,19 @@ func parseFrontier(body []byte, ex execOpts) (string, func() (any, error), error
 	}, nil
 }
 
-func parseMinCost(body []byte, _ execOpts) (string, func() (any, error), error) {
+func parseMinCost(body []byte, ex execOpts) (string, func() (any, error), error) {
 	var req relpipe.MinCostRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
 	}
-	key := req.Instance.Canonical() + "|" + floatKey(req.Costs...) +
+	method, opts, methodKey, err := parseSolveMethod(req.Method, req.Search, ex)
+	if err != nil {
+		return "", nil, err
+	}
+	key := req.Instance.Canonical() + methodKey + "|" + floatKey(req.Costs...) +
 		"|" + floatKey(req.MinReliability, req.Bounds.Period, req.Bounds.Latency)
 	return key, func() (any, error) {
-		sol, err := relpipe.MinimizeCost(req.Instance, req.Costs, req.MinReliability, req.Bounds)
+		sol, err := relpipe.MinimizeCostWith(req.Instance, req.Costs, req.MinReliability, req.Bounds, method, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,7 @@ package relpipe
 import (
 	"context"
 	"math"
+	"time"
 
 	"relpipe/internal/alloc"
 	"relpipe/internal/chain"
@@ -36,6 +37,7 @@ import (
 	"relpipe/internal/platform"
 	"relpipe/internal/rng"
 	"relpipe/internal/sched"
+	"relpipe/internal/search"
 	"relpipe/internal/sim"
 )
 
@@ -109,6 +111,11 @@ const (
 	Exact = core.Exact
 	// ILP solves the §5.4 integer program by branch and bound.
 	ILP = core.ILP
+	// Heuristic is the large-n search engine: §7 candidates refined by
+	// a deterministic random-restart local-search portfolio. The only
+	// solve path beyond the exact ceiling (~22 tasks) with a latency
+	// bound or a heterogeneous platform; Auto selects it there.
+	Heuristic = core.Heuristic
 )
 
 // Simulation routing modes.
@@ -128,6 +135,9 @@ var ErrInfeasible = core.ErrInfeasible
 // solver's answer: every parallel path shards its index space and
 // reduces in deterministic order, so results are bit-identical to the
 // sequential run for any degree (enforced by differential tests).
+// The search knobs (Restarts, Budget, Seed) select how much work the
+// Heuristic method spends — for a fixed Seed its answer too is
+// identical at every parallelism degree.
 type Options struct {
 	// Parallelism caps the worker goroutines of one solve: 0 means
 	// GOMAXPROCS, 1 (or any negative value) forces sequential
@@ -137,10 +147,25 @@ type Options struct {
 	Parallelism int
 	// Context cancels a long solve mid-shard; nil means no cancellation.
 	Context context.Context
+	// Restarts is the Heuristic method's portfolio size (0 = default 8).
+	Restarts int
+	// Budget is the Heuristic method's per-restart iteration budget
+	// (0 = default, scaled with the chain length).
+	Budget int
+	// Seed drives the Heuristic method's random choices; equal seeds
+	// give bit-identical results at any parallelism.
+	Seed uint64
+	// TimeBudget optionally caps the Heuristic method's wall-clock time
+	// (0 = none). A truncated run is still valid but no longer
+	// machine-independent.
+	TimeBudget time.Duration
 }
 
 func (o Options) exec() core.Exec {
-	return core.Exec{Ctx: o.Context, Parallelism: o.Parallelism}
+	return core.Exec{
+		Ctx: o.Context, Parallelism: o.Parallelism,
+		Restarts: o.Restarts, Budget: o.Budget, Seed: o.Seed, TimeBudget: o.TimeBudget,
+	}
 }
 
 // Optimize computes a reliability-maximal mapping under the bounds.
@@ -167,20 +192,29 @@ func UnroutedFailProb(in Instance, m Mapping) (float64, error) {
 	return core.UnroutedFailProb(in, m)
 }
 
-// MinPeriod minimizes the period subject to a reliability floor on a
-// homogeneous platform (§5.2, converse problem). minReliability is the
-// required success probability per data set; pass 0 for unconstrained.
+// MinPeriod minimizes the period subject to a reliability floor (§5.2,
+// converse problem): the exact DP binary search on homogeneous
+// platforms, the heuristic search engine on heterogeneous ones.
+// minReliability is the required success probability per data set;
+// pass 0 for unconstrained.
 func MinPeriod(in Instance, minReliability float64) (Solution, error) {
 	return MinPeriodWith(in, minReliability, Options{})
 }
 
 // MinPeriodWith is MinPeriod with execution options.
 func MinPeriodWith(in Instance, minReliability float64, o Options) (Solution, error) {
+	return MinPeriodMethod(in, minReliability, Auto, o)
+}
+
+// MinPeriodMethod is MinPeriod with an explicit method: DP (exact,
+// homogeneous only), Heuristic (the search engine, any platform), or
+// Auto.
+func MinPeriodMethod(in Instance, minReliability float64, m Method, o Options) (Solution, error) {
 	minLogRel := math.Inf(-1)
 	if minReliability > 0 {
 		minLogRel = math.Log(minReliability)
 	}
-	return core.MinPeriodExec(in, minLogRel, o.exec())
+	return core.MinPeriodMethodExec(in, minLogRel, m, o.exec())
 }
 
 // Simulate runs the discrete-event pipeline simulator.
@@ -229,6 +263,32 @@ func FrontierWith(in Instance, o Options) ([]FrontierPoint, error) {
 	return frontier.ComputePar(o.Context, in.Chain, in.Platform, o.Parallelism)
 }
 
+// FrontierAuto routes between the exact frontier sweep and its search
+// approximation with the same policy Auto uses for Optimize: exact on
+// homogeneous platforms within the enumeration ceiling, heuristic
+// beyond it (large chains, heterogeneous platforms).
+func FrontierAuto(in Instance, o Options) ([]FrontierPoint, error) {
+	if in.Platform.Homogeneous() && len(in.Chain) <= core.MaxExactTasks {
+		return FrontierWith(in, o)
+	}
+	return FrontierHeuristic(in, o)
+}
+
+// FrontierHeuristic approximates the Pareto frontier with the search
+// engine for instances beyond the exact enumeration ceiling
+// (large chains, heterogeneous platforms): a lower bound on the true
+// surface built from the §7 seed pool plus search-refined optima under
+// a ladder of period bounds. Deterministic for a fixed o.Seed.
+func FrontierHeuristic(in Instance, o Options) ([]FrontierPoint, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	// One Options→search translation point for the whole stack:
+	// core.Exec.SearchOptions (new knobs added there reach the frontier
+	// automatically).
+	return search.Frontier(in.Chain, in.Platform, o.exec().SearchOptions())
+}
+
 // BuildSchedule constructs the closed-form periodic timetable of a
 // mapping at the given injection period (≥ the mapping's worst-case
 // period): the concrete schedule whose existence the real-time contract
@@ -242,17 +302,22 @@ func BuildSchedule(in Instance, m Mapping, period float64) (*Schedule, error) {
 
 // MinimizeCost returns the cheapest mapping meeting a reliability floor
 // (success probability per data set; 0 for unconstrained) and the
-// bounds, on platforms with identical speed/failure rate but arbitrary
-// per-processor prices — the resource-cost extension of §9.
+// bounds — the resource-cost extension of §9. The Auto method runs the
+// enumerative exact solver on small homogeneous instances and the
+// heuristic search engine beyond that ceiling (including heterogeneous
+// platforms).
 func MinimizeCost(in Instance, costs []float64, minReliability float64, b Bounds) (CostSolution, error) {
-	if err := in.Validate(); err != nil {
-		return CostSolution{}, err
-	}
+	return MinimizeCostWith(in, costs, minReliability, b, Auto, Options{})
+}
+
+// MinimizeCostWith is MinimizeCost with an explicit method (Auto,
+// Exact or Heuristic) and execution options.
+func MinimizeCostWith(in Instance, costs []float64, minReliability float64, b Bounds, m Method, o Options) (CostSolution, error) {
 	minLogRel := math.Inf(-1)
 	if minReliability > 0 {
 		minLogRel = math.Log(minReliability)
 	}
-	return cost.Minimize(in.Chain, in.Platform, costs, minLogRel, b.Period, b.Latency)
+	return core.MinimizeCostExec(in, costs, minLogRel, b, m, o.exec())
 }
 
 // OptimizeShared maps several independent applications onto one shared

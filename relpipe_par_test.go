@@ -36,6 +36,33 @@ func TestOptimizeWithParallelismInvariance(t *testing.T) {
 	}
 }
 
+// TestHeuristicParallelismInvariance extends the facade contract to
+// the search engine: for a fixed search seed the portfolio's
+// deterministic reduce returns the same solution at every degree.
+func TestHeuristicParallelismInvariance(t *testing.T) {
+	inst := relpipe.Instance{
+		Chain:    relpipe.RandomChain(21, 60, 1, 100, 1, 10),
+		Platform: relpipe.HomogeneousPlatform(12, 1, 1e-8, 1, 1e-5, 3),
+	}
+	bounds := relpipe.Bounds{Period: 400, Latency: 4000}
+	base := relpipe.Options{Parallelism: 1, Restarts: 4, Budget: 800, Seed: 5}
+	want, err := relpipe.OptimizeWith(inst, bounds, relpipe.Heuristic, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} {
+		o := base
+		o.Parallelism = p
+		got, err := relpipe.OptimizeWith(inst, bounds, relpipe.Heuristic, o)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("P=%d: heuristic solution differs from sequential", p)
+		}
+	}
+}
+
 func TestFrontierWithParallelismInvariance(t *testing.T) {
 	inst := relpipe.Instance{
 		Chain:    relpipe.RandomChain(5, 11, 1, 100, 1, 10),

@@ -126,9 +126,42 @@ type SimulateResponse struct {
 	SteadyPeriod float64 `json:"steadyPeriod"`
 }
 
+// AdaptRequest runs the online-adaptation lifetime engine on a mapping
+// ("POST /v1/adapt"): processors crash at exponentially distributed
+// times over the mission and the policy repairs the mapping online.
+// Mapping may be omitted, in which case the server first optimizes the
+// instance under the bounds (method auto). Policy is "remap" (default),
+// "spares", "greedy" or "none". Replications > 1 averages that many
+// independent missions (seeded deterministically from Seed, 0 = 1
+// mission); Search tunes the remap policy's re-optimization.
+type AdaptRequest struct {
+	Instance      Instance      `json:"instance"`
+	Mapping       *Mapping      `json:"mapping,omitempty"`
+	Policy        string        `json:"policy,omitempty"`
+	Horizon       float64       `json:"horizon"`
+	Bounds        Bounds        `json:"bounds,omitzero"`
+	LifeScale     float64       `json:"lifeScale,omitempty"`
+	Spares        int           `json:"spares,omitempty"`
+	SpareCost     float64       `json:"spareCost,omitempty"`
+	Costs         []float64     `json:"costs,omitempty"`
+	RepairLatency float64       `json:"repairLatency,omitempty"`
+	Seed          uint64        `json:"seed,omitempty"`
+	Replications  int           `json:"replications,omitempty"`
+	Search        *SearchParams `json:"search,omitempty"`
+}
+
+// AdaptResponse summarizes the mission replications: means over
+// replications of mission reliability, availability, time to first
+// violation, repair counters and residual cost.
+type AdaptResponse struct {
+	Policy  string       `json:"policy"`
+	Summary AdaptSummary `json:"summary"`
+}
+
 // BatchJob is one job of a batch request: Kind names the endpoint
 // ("optimize", "evaluate", "minperiod", "frontier", "mincost",
-// "simulate") and Request holds that endpoint's request document.
+// "simulate", "adapt") and Request holds that endpoint's request
+// document.
 type BatchJob struct {
 	Kind    string          `json:"kind"`
 	Request json.RawMessage `json:"request"`

@@ -1,6 +1,7 @@
 // Command bench is the benchmark-regression harness of the CI pipeline:
 // it measures the tagged hot-path kernels (exact enumeration, Monte-Carlo
-// simulation, frontier sweep, DP, evaluation) at parallelism 1 and 8,
+// simulation, frontier sweep, heuristic search, online adaptation with
+// remap repairs, DP, evaluation) at parallelism 1 and 8,
 // writes the numbers as JSON, and — in -check mode — compares a current
 // run against a committed baseline, failing on >threshold ns/op
 // regressions.
@@ -39,10 +40,12 @@ import (
 	"strings"
 	"time"
 
+	"relpipe/internal/adapt"
 	"relpipe/internal/chain"
 	"relpipe/internal/dp"
 	"relpipe/internal/exact"
 	"relpipe/internal/frontier"
+	"relpipe/internal/heur"
 	"relpipe/internal/mapping"
 	"relpipe/internal/platform"
 	"relpipe/internal/rng"
@@ -80,18 +83,19 @@ type sizes struct {
 	mcReps        int
 	mcDataSets    int
 	searchBudget  int
+	adaptReps     int
 	minTime       time.Duration
 	repeats       int
 }
 
 func quickSizes() sizes {
 	return sizes{exactTasks: 15, frontierTasks: 14, mcReps: 16, mcDataSets: 1000,
-		searchBudget: 1000, minTime: 200 * time.Millisecond, repeats: 3}
+		searchBudget: 1000, adaptReps: 8, minTime: 200 * time.Millisecond, repeats: 3}
 }
 
 func fullSizes() sizes {
 	return sizes{exactTasks: 17, frontierTasks: 16, mcReps: 64, mcDataSets: 2000,
-		searchBudget: 4000, minTime: time.Second, repeats: 3}
+		searchBudget: 4000, adaptReps: 32, minTime: time.Second, repeats: 3}
 }
 
 // benchmark is one registered measurement: setup returns the op closure
@@ -177,6 +181,39 @@ func searchBench(parallelism int) func(sz sizes) func() {
 	}
 }
 
+// adaptBench measures the online-adaptation hot path: a batch of
+// lifetime replications under the remap policy, each replication
+// running several warm-started search re-optimizations on a fixed
+// 40-stage heterogeneous instance. Replications shard across the given
+// degree; the fixed seed makes every run measure identical work.
+func adaptBench(parallelism int) func(sz sizes) func() {
+	return func(sz sizes) func() {
+		r := rng.New(42)
+		c := chain.PaperRandom(r, 40)
+		pl := platform.PaperHeterogeneous(r, 12)
+		res, ok, err := heur.Best(c, pl, heur.Options{})
+		if err != nil || !ok {
+			panic(fmt.Sprintf("adapt bench: ok=%v err=%v", ok, err))
+		}
+		opts := adapt.Options{
+			Policy:    adapt.PolicyRemap,
+			Horizon:   1000,
+			LifeScale: 4e4, // ~5 crashes per mission across the 12 procs
+			Seed:      1,
+			Restarts:  1,
+			Budget:    300,
+		}
+		reps := sz.adaptReps
+		return func() {
+			b, err := adapt.RunBatch(context.Background(), c, pl, res.M, opts, reps, parallelism)
+			if err != nil {
+				panic(err)
+			}
+			sink += b.Summarize().MeanRepairs
+		}
+	}
+}
+
 func frontierBench(parallelism int) func(sz sizes) func() {
 	return func(sz sizes) func() {
 		c, pl := paperChainPlatform(sz.frontierTasks)
@@ -214,6 +251,8 @@ var benchmarks = []benchmark{
 	{"frontier/P=8", []string{tagHotPath}, frontierBench(8)},
 	{"search-optimize/P=1", []string{tagHotPath}, searchBench(1)},
 	{"search-optimize/P=8", []string{tagHotPath}, searchBench(8)},
+	{"adapt-remap/P=1", []string{tagHotPath}, adaptBench(1)},
+	{"adapt-remap/P=8", []string{tagHotPath}, adaptBench(8)},
 	{"dp-reliability", []string{tagHotPath}, func(sz sizes) func() {
 		c, pl := paperChainPlatform(15)
 		return func() {
@@ -283,7 +322,7 @@ func runBenchmarks(quick bool) File {
 		byName[b.name] = ns
 		fmt.Printf("%-24s %14.0f ns/op  (%d iters)\n", b.name, ns, iters)
 	}
-	for _, base := range []string{"exact-profiles", "monte-carlo", "frontier", "search-optimize"} {
+	for _, base := range []string{"exact-profiles", "monte-carlo", "frontier", "search-optimize", "adapt-remap"} {
 		p1, ok1 := byName[base+"/P=1"]
 		p8, ok8 := byName[base+"/P=8"]
 		if ok1 && ok8 && p8 > 0 {

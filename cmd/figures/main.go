@@ -31,7 +31,7 @@ func main() {
 	step := flag.Int("step", 1, "sweep step multiplier (>1 = coarser, faster)")
 	figsFlag := flag.String("figs", "", "comma-separated figure numbers (default: all)")
 	hetSpeedMax := flag.Float64("hetspeedmax", 100, "upper end of heterogeneous speeds (paper text: 100; 10 reproduces the Fig. 12 ramp)")
-	extra := flag.Bool("extra", false, "also produce the beyond-the-paper ablation figures (figA1 routing cost, figA4 heuristic gap)")
+	extra := flag.Bool("extra", false, "also produce the beyond-the-paper figures (figA1 routing cost, figA4 heuristic gap, figB1 adaptation-policy sweep)")
 	parallel := flag.Int("parallel", 0, "experiment parallelism (0 = GOMAXPROCS, 1 = sequential; figures are identical for any value)")
 	flag.Parse()
 
@@ -82,7 +82,7 @@ func main() {
 		}
 	}
 	if *extra {
-		for _, fn := range []func(expfig.Config) expfig.Figure{expfig.RoutingOverhead, expfig.HeuristicGap} {
+		for _, fn := range []func(expfig.Config) expfig.Figure{expfig.RoutingOverhead, expfig.HeuristicGap, expfig.AdaptPolicySweep} {
 			start := time.Now()
 			f := fn(cfg)
 			fmt.Printf("%s computed in %v\n", f.ID, time.Since(start).Round(time.Millisecond))

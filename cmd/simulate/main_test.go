@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -46,5 +47,39 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(path, 0.001, 0, 100, 1, 1, "auto", 1, 0); err == nil {
 		t.Fatal("infeasible bounds accepted")
+	}
+}
+
+// captureRun runs the CLI body with stdout captured.
+func captureRun(t *testing.T, path string, seed uint64, reps int) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(path, 200, 0, 500, seed, 1e5, "auto", reps, 1)
+	w.Close()
+	os.Stdout = old
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return string(b)
+}
+
+// TestSeedZeroAliasesDefaultSeed pins the repo-wide seed convention at
+// the CLI layer: `-seed 0` and the default `-seed 1` print identical
+// results, single-run and batched.
+func TestSeedZeroAliasesDefaultSeed(t *testing.T) {
+	path := writeInstance(t)
+	for _, reps := range []int{1, 4} {
+		if got0, got1 := captureRun(t, path, 0, reps), captureRun(t, path, 1, reps); got0 != got1 {
+			t.Fatalf("reps=%d: -seed 0 output differs from -seed 1:\n%s\nvs\n%s", reps, got0, got1)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"math"
 	"testing"
 )
 
@@ -141,4 +142,57 @@ func BenchmarkScheduleRun(b *testing.B) {
 		}
 		e.Run()
 	}
+}
+
+// TestRunUntilWithMidRunScheduling pins the pattern the adaptation
+// engine relies on (internal/adapt): an event fired inside RunUntil may
+// schedule further events — a spare's replacement crash — and RunUntil
+// must run exactly those that fall inside the window, leaving the rest
+// queued.
+func TestRunUntilWithMidRunScheduling(t *testing.T) {
+	e := New()
+	var fired []float64
+	e.At(5, func() {
+		fired = append(fired, 5)
+		e.At(8, func() { fired = append(fired, 8) })
+		e.At(15, func() { fired = append(fired, 15) })
+	})
+	e.RunUntil(10)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 8 {
+		t.Fatalf("fired = %v, want [5 8]", fired)
+	}
+	if e.Pending() != 1 || e.Now() != 10 {
+		t.Fatalf("Pending=%d Now=%v, want 1 pending at t=10", e.Pending(), e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 || fired[2] != 15 {
+		t.Fatalf("fired = %v, want trailing 15", fired)
+	}
+}
+
+// TestInfiniteTimeEventNeverRunsUnderRunUntil: events at +Inf (a
+// processor that never crashes) queue harmlessly and never execute
+// within any finite horizon.
+func TestInfiniteTimeEventNeverRunsUnderRunUntil(t *testing.T) {
+	e := New()
+	ran := false
+	e.At(math.Inf(1), func() { ran = true })
+	e.RunUntil(1e18)
+	if ran {
+		t.Fatal("+Inf event ran inside a finite horizon")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+// TestNaNSchedulingPanics: NaN times must fail loudly.
+func TestNaNSchedulingPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(NaN) did not panic")
+		}
+	}()
+	e.At(math.NaN(), func() {})
 }

@@ -1,0 +1,51 @@
+package expfig
+
+import (
+	"reflect"
+	"testing"
+)
+
+// smallAdaptConfig keeps the sweep fast: few instances, coarse step.
+func smallAdaptConfig(parallelism int) Config {
+	return Config{Instances: 4, Tasks: 8, Procs: 6, Seed: 3, Step: 3, Parallelism: parallelism}
+}
+
+func TestAdaptPolicySweepShape(t *testing.T) {
+	f := AdaptPolicySweep(smallAdaptConfig(1))
+	if f.ID != "figB1" {
+		t.Fatalf("ID = %q", f.ID)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("want 4 policy series, got %d", len(f.Series))
+	}
+	if f.Series[0].Label != "remap" || f.Series[3].Label != "none" {
+		t.Fatalf("series order: %v, %v", f.Series[0].Label, f.Series[3].Label)
+	}
+	for _, s := range f.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("series %s: %d xs, %d ys", s.Label, len(s.X), len(s.Y))
+		}
+		for i, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("series %s point %d: reliability %g out of [0,1]", s.Label, i, y)
+			}
+		}
+	}
+	// The weakest policy cannot beat the strongest at the longest
+	// mission (the regime the engine exists for).
+	last := len(f.Series[0].Y) - 1
+	if f.Series[3].Y[last] > f.Series[0].Y[last] {
+		t.Fatalf("none (%g) beats remap (%g) at the longest mission",
+			f.Series[3].Y[last], f.Series[0].Y[last])
+	}
+}
+
+func TestAdaptPolicySweepDeterministicAcrossParallelism(t *testing.T) {
+	base := AdaptPolicySweep(smallAdaptConfig(1))
+	for _, p := range []int{2, 8} {
+		got := AdaptPolicySweep(smallAdaptConfig(p))
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("figure differs between parallelism 1 and %d", p)
+		}
+	}
+}

@@ -61,6 +61,14 @@ type Options struct {
 	// consulted whenever a move grants a processor to an interval,
 	// against the interval's index in the current partition.
 	Allowed alloc.Constraint
+	// Warm optionally injects known-good mappings at the head of the
+	// seed pool, ahead of the §7 heuristic candidates regardless of
+	// score: restart 0 refines Warm[0], restart 1 refines Warm[1], and
+	// so on. This is how the online-adaptation engine (internal/adapt)
+	// warm-starts a re-optimization from the mapping that was running
+	// when a processor died. Every warm mapping must be valid for the
+	// instance and satisfy Allowed; Optimize errors otherwise.
+	Warm []mapping.Mapping
 
 	// Restarts is the portfolio size (default 8). Restart 0 refines
 	// the best heuristic seed; later restarts cycle through the seed
@@ -193,6 +201,20 @@ func run(c chain.Chain, pl platform.Platform, opts Options, obj objective) (Resu
 	}
 	if err := pl.Validate(); err != nil {
 		return Result{}, false, err
+	}
+	for i, w := range opts.Warm {
+		if err := w.Validate(c, pl); err != nil {
+			return Result{}, false, fmt.Errorf("search: warm mapping %d: %w", i, err)
+		}
+		if opts.Allowed != nil {
+			for j, ps := range w.Procs {
+				for _, u := range ps {
+					if !opts.Allowed(j, u) {
+						return Result{}, false, fmt.Errorf("search: warm mapping %d grants forbidden processor %d to interval %d", i, u, j)
+					}
+				}
+			}
+		}
 	}
 	opts = opts.defaults(len(c))
 	prob := problem{c: c, pl: pl, opts: opts, obj: obj}
@@ -373,6 +395,20 @@ func (p problem) seedPool() []seedCandidate {
 		pool = p.candidates(maxM, 0)
 	}
 	sort.SliceStable(pool, func(a, b int) bool { return pool[a].score > pool[b].score })
+	if len(p.opts.Warm) > 0 {
+		// Warm mappings lead the pool unconditionally (not merged by
+		// score): the caller asserts these are the states to refine
+		// first, e.g. the mapping that was running before a failure.
+		warm := make([]seedCandidate, 0, len(p.opts.Warm)+len(pool))
+		for _, w := range p.opts.Warm {
+			st := newState(p.pl, w)
+			warm = append(warm, seedCandidate{
+				st:    st,
+				score: p.score(mapping.EvaluateUnchecked(p.c, p.pl, w), p.cost(w.Procs)),
+			})
+		}
+		pool = append(warm, pool...)
+	}
 	return pool
 }
 

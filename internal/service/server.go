@@ -15,6 +15,7 @@
 //	POST /v1/frontier   relpipe.FrontierRequest  → relpipe.FrontierResponse
 //	POST /v1/mincost    relpipe.MinCostRequest   → relpipe.MinCostResponse
 //	POST /v1/simulate   relpipe.SimulateRequest  → relpipe.SimulateResponse
+//	POST /v1/adapt      relpipe.AdaptRequest     → relpipe.AdaptResponse
 //	POST /v1/batch      relpipe.BatchRequest     → relpipe.BatchResponse
 //	GET  /healthz       {"status":"ok"}
 //	GET  /metrics       counter snapshot (JSON)
@@ -157,6 +158,7 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("POST /v1/frontier", s.solveHandler("frontier", parseFrontier))
 	mux.HandleFunc("POST /v1/mincost", s.solveHandler("mincost", parseMinCost))
 	mux.HandleFunc("POST /v1/simulate", s.solveHandler("simulate", parseSimulate))
+	mux.HandleFunc("POST /v1/adapt", s.solveHandler("adapt", parseAdapt))
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.metrics)
@@ -402,6 +404,7 @@ var batchParsers = map[string]parser{
 	"frontier":  parseFrontier,
 	"mincost":   parseMinCost,
 	"simulate":  parseSimulate,
+	"adapt":     parseAdapt,
 }
 
 // ---- endpoint parsers ----
@@ -517,6 +520,12 @@ func parseSimulate(body []byte, ex execOpts) (string, func() (any, error), error
 	if reps == 0 {
 		reps = 1
 	}
+	if req.Seed == 0 {
+		// Seed 0 aliases the default seed 1 (the repo-wide convention,
+		// matching cmd/simulate and sim.RunBatch); normalizing before
+		// the key also makes the two spellings share one cache entry.
+		req.Seed = 1
+	}
 	key := req.Instance.Canonical() + "|" + mappingKey(req.Mapping) +
 		"|" + floatKey(req.Period) +
 		fmt.Sprintf("|n=%d|s=%d|f=%t|r=%d|w=%d|rep=%d",
@@ -547,6 +556,93 @@ func parseSimulate(body []byte, ex execOpts) (string, func() (any, error), error
 		}
 		return simulateResponse(res.DataSets, res.Successes,
 			res.SuccessRate(), res.MeanLatency(), res.MaxLatency(), res.SteadyPeriod), nil
+	}, nil
+}
+
+// parseAdapt handles the online-adaptation endpoint. Replications are
+// capped like /v1/simulate's (each replication may run many remap
+// searches, so an unbounded value would monopolize a worker); the remap
+// search knobs are capped like every search-sensitive endpoint's and
+// enter the cache key only when the policy actually searches (remap),
+// mirroring how exact methods omit them.
+func parseAdapt(body []byte, ex execOpts) (string, func() (any, error), error) {
+	var req relpipe.AdaptRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		return "", nil, err
+	}
+	policyStr := req.Policy
+	if policyStr == "" {
+		policyStr = "remap"
+	}
+	policy, err := relpipe.ParseAdaptPolicy(policyStr)
+	if err != nil {
+		return "", nil, err
+	}
+	if req.Replications < 0 {
+		return "", nil, fmt.Errorf("adapt: negative replications %d", req.Replications)
+	}
+	if req.Replications > ex.maxReplications {
+		return "", nil, fmt.Errorf("adapt: %d replications exceeds limit %d", req.Replications, ex.maxReplications)
+	}
+	reps := req.Replications
+	if reps == 0 {
+		reps = 1
+	}
+	if req.Seed == 0 {
+		// Seed 0 aliases the default seed 1 (the repo-wide convention);
+		// normalized before the key so both spellings share one entry.
+		req.Seed = 1
+	}
+	opts, searchKey, err := ex.searchOptions(req.Search)
+	if err != nil {
+		return "", nil, err
+	}
+	// The knobs shape the answer through two doors: the remap policy's
+	// re-optimizations, and the server-side initial Optimize (method
+	// Auto, search-sensitive) when no mapping is supplied. Only a
+	// non-searching policy over an explicit mapping may drop them.
+	if policy != relpipe.AdaptRemap && req.Mapping != nil {
+		searchKey = ""
+	}
+	mapKey := "opt"
+	if req.Mapping != nil {
+		mapKey = mappingKey(*req.Mapping)
+	}
+	key := req.Instance.Canonical() + "|" + mapKey +
+		"|p=" + policy.String() + searchKey +
+		"|" + floatKey(req.Horizon, req.LifeScale, req.SpareCost, req.RepairLatency,
+		req.Bounds.Period, req.Bounds.Latency) +
+		"|" + floatKey(req.Costs...) +
+		fmt.Sprintf("|sp=%d|s=%d|rep=%d", req.Spares, req.Seed, reps)
+	return key, func() (any, error) {
+		m := relpipe.Mapping{}
+		if req.Mapping != nil {
+			m = *req.Mapping
+		} else {
+			sol, err := relpipe.OptimizeWith(req.Instance, req.Bounds, relpipe.Auto, opts)
+			if err != nil {
+				return nil, err
+			}
+			m = sol.Mapping
+		}
+		batch, err := relpipe.AdaptBatch(req.Instance, m, relpipe.AdaptOptions{
+			Policy:        policy,
+			Horizon:       req.Horizon,
+			Period:        req.Bounds.Period,
+			Latency:       req.Bounds.Latency,
+			LifeScale:     req.LifeScale,
+			Spares:        req.Spares,
+			SpareCost:     req.SpareCost,
+			Costs:         req.Costs,
+			RepairLatency: req.RepairLatency,
+			Seed:          req.Seed,
+			Restarts:      opts.Restarts,
+			Budget:        opts.Budget,
+		}, reps, opts)
+		if err != nil {
+			return nil, err
+		}
+		return relpipe.AdaptResponse{Policy: policy.String(), Summary: batch.Summarize()}, nil
 	}, nil
 }
 

@@ -30,12 +30,19 @@ type BatchResult struct {
 //
 // cfg.Trace must be nil: a shared trace would interleave operations
 // nondeterministically across replications. Trace single runs instead.
+//
+// A Seed of 0 aliases the default seed 1 — the repo-wide convention
+// (search, adapt, the CLIs' -seed flags) — so a zero-value batch and an
+// explicitly seed-1 batch are the same reproducible experiment.
 func RunBatch(ctx context.Context, cfg Config, replications, parallelism int) (BatchResult, error) {
 	if replications <= 0 {
 		return BatchResult{}, errors.New("sim: replications must be positive")
 	}
 	if cfg.Trace != nil {
 		return BatchResult{}, errors.New("sim: Trace is not supported by RunBatch; trace a single Run instead")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
 	}
 	master := rng.New(cfg.Seed)
 	seeds := make([]uint64, replications)

@@ -122,3 +122,31 @@ func TestRunBatchCancellation(t *testing.T) {
 		t.Fatal("cancelled batch returned no error")
 	}
 }
+
+// TestRunBatchSeedZeroAliasesDefaultSeed pins the repo-wide seed
+// convention on the Monte-Carlo batch: a Seed of 0 and the default
+// seed 1 run the identical experiment.
+func TestRunBatchSeedZeroAliasesDefaultSeed(t *testing.T) {
+	cfg0 := batchConfig(t, 17)
+	cfg0.Seed = 0
+	cfg1 := cfg0
+	cfg1.Seed = 1
+	b0, err := RunBatch(context.Background(), cfg0, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := RunBatch(context.Background(), cfg1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b0, b1) {
+		t.Fatal("RunBatch seed 0 does not alias seed 1")
+	}
+	b2, err := RunBatch(context.Background(), cfg1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b1, b2) {
+		t.Fatal("RunBatch is not reproducible for a fixed seed")
+	}
+}

@@ -1,0 +1,85 @@
+package relpipe_test
+
+import (
+	"reflect"
+	"testing"
+
+	"relpipe"
+)
+
+// TestAdaptBatchBitIdenticalAcrossParallelism is the facade-level half
+// of the adapt differential gate: a fixed-seed batch must be
+// bit-identical at P ∈ {1, 2, 8} for every policy.
+func TestAdaptBatchBitIdenticalAcrossParallelism(t *testing.T) {
+	in := relpipe.Instance{
+		Chain:    relpipe.RandomChain(11, 10, 1, 100, 1, 10),
+		Platform: relpipe.HomogeneousPlatform(8, 1, 1e-8, 1, 1e-5, 3),
+	}
+	sol, err := relpipe.Optimize(in, relpipe.Bounds{}, relpipe.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range relpipe.AdaptPolicies() {
+		ao := relpipe.AdaptOptions{
+			Policy: policy, Horizon: 1000, LifeScale: 1e5,
+			Spares: 2, Seed: 1, Restarts: 1, Budget: 200,
+		}
+		base, err := relpipe.AdaptBatch(in, sol.Mapping, ao, 6, relpipe.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if base.Summarize().MeanCrashes == 0 {
+			t.Fatalf("%v: no crashes in the differential instance", policy)
+		}
+		for _, p := range []int{2, 8} {
+			got, err := relpipe.AdaptBatch(in, sol.Mapping, ao, 6, relpipe.Options{Parallelism: p})
+			if err != nil {
+				t.Fatalf("%v P=%d: %v", policy, p, err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("%v: AdaptBatch differs between P=1 and P=%d", policy, p)
+			}
+		}
+	}
+}
+
+// TestAdaptZeroFailurePlatformMatchesStatic is the other half: with
+// zero processor failure rates no crash can occur, so every policy must
+// reproduce the static Optimize mapping's reliability exactly (the
+// links keep the per-data-set reliability strictly below 1).
+func TestAdaptZeroFailurePlatformMatchesStatic(t *testing.T) {
+	in := relpipe.Instance{
+		Chain:    relpipe.RandomChain(13, 10, 1, 100, 1, 10),
+		Platform: relpipe.HomogeneousPlatform(8, 1, 0, 1, 1e-4, 3),
+	}
+	// A period bound forces a multi-interval mapping, so boundary links
+	// keep the reliability non-trivial.
+	sol, err := relpipe.Optimize(in, relpipe.Bounds{Period: 150}, relpipe.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Eval.LogRel == 0 {
+		t.Fatal("degenerate static mapping: reliability exactly 1")
+	}
+	for _, policy := range relpipe.AdaptPolicies() {
+		res, err := relpipe.Adapt(in, sol.Mapping, relpipe.AdaptOptions{
+			Policy: policy, Horizon: 2000, Period: 150, Spares: 2, Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if res.Metrics.Crashes != 0 {
+			t.Fatalf("%v: crash on a zero-failure-rate platform", policy)
+		}
+		if res.Metrics.MeanLogRel != sol.Eval.LogRel {
+			t.Fatalf("%v: MeanLogRel %g != static %g", policy, res.Metrics.MeanLogRel, sol.Eval.LogRel)
+		}
+		wantSurv := (2000 / 150.0) * sol.Eval.LogRel
+		if res.Metrics.MissionLogSurvival != wantSurv {
+			t.Fatalf("%v: MissionLogSurvival %g != %g", policy, res.Metrics.MissionLogSurvival, wantSurv)
+		}
+		if res.Metrics.Availability != 1 || res.Metrics.Violated {
+			t.Fatalf("%v: drifted metrics: %+v", policy, res.Metrics)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package relpipe
 
 import (
 	"relpipe/internal/adapt"
+	"relpipe/internal/progress"
 )
 
 // This file re-exports the online-adaptation engine (internal/adapt):
@@ -70,6 +71,9 @@ func Adapt(in Instance, m Mapping, ao AdaptOptions) (AdaptRun, error) {
 func AdaptBatch(in Instance, m Mapping, ao AdaptOptions, replications int, o Options) (AdaptBatchResult, error) {
 	if err := in.Validate(); err != nil {
 		return AdaptBatchResult{}, err
+	}
+	if ao.Progress == nil {
+		ao.Progress = progress.Func(o.Progress)
 	}
 	return adapt.RunBatch(o.Context, in.Chain, in.Platform, m, ao, replications, o.Parallelism)
 }

@@ -1,6 +1,10 @@
 package relpipe
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"relpipe/internal/jobs"
+)
 
 // This file defines the wire types of the solver service (internal/service,
 // cmd/serve). They live in the root package so that Go clients of the HTTP
@@ -190,4 +194,48 @@ type BatchResponse struct {
 // message mirroring the HTTP status.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// JobSubmitRequest submits a long-running solve for asynchronous
+// execution ("POST /v1/jobs"): Kind names an endpoint ("optimize",
+// "evaluate", "minperiod", "frontier", "mincost", "simulate", "adapt",
+// "batch") and Request holds that endpoint's request document,
+// validated at submit time. Client optionally names the submitter for
+// per-client live-job caps and list filtering. The answer is 202 with
+// the job's JobStatus; poll "GET /v1/jobs/{id}", stream
+// "GET /v1/jobs/{id}/events" (SSE), cancel "DELETE /v1/jobs/{id}".
+type JobSubmitRequest struct {
+	Kind    string          `json:"kind"`
+	Request json.RawMessage `json:"request"`
+	Client  string          `json:"client,omitempty"`
+}
+
+// JobStatus is the wire snapshot of an async job: lifecycle state
+// ("queued", "running", "succeeded", "failed", "cancelled"), monotone
+// progress (search restarts, Monte-Carlo replications or batch items
+// completed, depending on the kind), and — once terminal — the HTTP
+// status and response document the synchronous endpoint would have
+// answered with, bit-identical for the same request.
+type JobStatus = jobs.Status
+
+// JobState is a job's lifecycle phase (Terminal reports whether it is
+// final).
+type JobState = jobs.State
+
+// Job lifecycle states.
+const (
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobSucceeded = jobs.StateSucceeded
+	JobFailed    = jobs.StateFailed
+	JobCancelled = jobs.StateCancelled
+)
+
+// JobProgress is a job's monotone completion snapshot.
+type JobProgress = jobs.Progress
+
+// JobListResponse carries every stored job, newest first
+// ("GET /v1/jobs", optionally filtered by ?client=).
+type JobListResponse struct {
+	Jobs []JobStatus `json:"jobs"`
 }

@@ -1,0 +1,156 @@
+// Command docscheck is the CI documentation gate (wired into the lint
+// stage): it walks every markdown file in the repository and verifies
+// that relative links resolve to existing files, and it asserts that
+// every internal/* package carries a package comment (the doc.go
+// overviews), so `go doc` stays useful across the tree.
+//
+// Usage:
+//
+//	docscheck [-root .]
+//
+// External (http/https/mailto) links are not fetched — CI must not
+// depend on third-party uptime — and intra-document #anchors are not
+// resolved, only the file part of a link is checked. Exit status is
+// non-zero with one line per finding when anything is broken.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	fs := flag.NewFlagSet("docscheck", flag.ExitOnError)
+	root := fs.String("root", ".", "repository root to check")
+	fs.Parse(os.Args[1:])
+	findings, err := run(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// run executes both checks and returns one line per finding.
+func run(root string) ([]string, error) {
+	var findings []string
+	links, err := checkMarkdownLinks(root)
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, links...)
+	comments, err := checkPackageComments(root)
+	if err != nil {
+		return nil, err
+	}
+	return append(findings, comments...), nil
+}
+
+// mdLink matches inline markdown links and images: [text](target).
+// Reference-style links are rare in this repository and not matched.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdownLinks verifies that the file part of every relative link
+// in every *.md file exists on disk.
+func checkMarkdownLinks(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and generated result trees.
+			switch d.Name() {
+			case ".git", "results":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for ln, line := range strings.Split(string(b), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if isExternal(target) || strings.HasPrefix(target, "#") {
+					continue
+				}
+				// Strip an anchor; only the file must exist.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(resolved); err != nil {
+					findings = append(findings,
+						fmt.Sprintf("%s:%d: broken link %q (no file %s)", path, ln+1, m[1], resolved))
+				}
+			}
+		}
+		return nil
+	})
+	return findings, err
+}
+
+func isExternal(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}
+
+// checkPackageComments asserts every internal/* package has a package
+// comment on at least one of its files (test files don't count).
+func checkPackageComments(root string) ([]string, error) {
+	dirs, err := filepath.Glob(filepath.Join(root, "internal", "*"))
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				findings = append(findings,
+					fmt.Sprintf("%s: package %s has no package comment (add a doc.go overview)", dir, name))
+			}
+		}
+	}
+	return findings, nil
+}

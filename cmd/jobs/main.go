@@ -1,0 +1,196 @@
+// Command jobs drives the solver service's async job API from the
+// command line (see API.md, "Async jobs"):
+//
+//	jobs [-addr http://localhost:8080] submit -kind optimize -request req.json [-client me] [-wait]
+//	jobs [-addr ...] status <job-id>
+//	jobs [-addr ...] watch  <job-id>
+//	jobs [-addr ...] cancel <job-id>
+//	jobs [-addr ...] list   [-client me]
+//
+// submit posts the request document under the given kind and prints the
+// accepted job's status (with -wait it then streams progress until the
+// job is terminal and prints the result document). watch attaches to a
+// running job's SSE stream and prints one line per progress event.
+// Exit status is 0 for succeeded (or merely submitted/queried) jobs, 1
+// for failed or cancelled ones and for transport errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"relpipe"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://localhost:8080", "service base URL")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: jobs [-addr URL] {submit|status|watch|cancel|list} ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 1
+	}
+	c := &relpipe.JobsClient{BaseURL: *addr}
+	ctx := context.Background()
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "submit":
+		return cmdSubmit(ctx, c, rest, stdout, stderr)
+	case "status":
+		return cmdStatus(ctx, c, rest, stdout, stderr)
+	case "watch":
+		return cmdWatch(ctx, c, rest, stdout, stderr)
+	case "cancel":
+		return cmdCancel(ctx, c, rest, stdout, stderr)
+	case "list":
+		return cmdList(ctx, c, rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "jobs: unknown command %q\n", cmd)
+		fs.Usage()
+		return 1
+	}
+}
+
+func cmdSubmit(ctx context.Context, c *relpipe.JobsClient, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jobs submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "", "job kind: optimize, evaluate, minperiod, frontier, mincost, simulate, adapt, batch")
+	reqPath := fs.String("request", "", "request document file (- for stdin)")
+	client := fs.String("client", "", "client name for per-client caps and list filtering")
+	wait := fs.Bool("wait", false, "stream progress and print the result document")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *kind == "" || *reqPath == "" {
+		fmt.Fprintln(stderr, "jobs submit: -kind and -request are required")
+		return 1
+	}
+	var body []byte
+	var err error
+	if *reqPath == "-" {
+		body, err = io.ReadAll(os.Stdin)
+	} else {
+		body, err = os.ReadFile(*reqPath)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "jobs submit: %v\n", err)
+		return 1
+	}
+	st, err := c.Submit(ctx, *kind, json.RawMessage(body), *client)
+	if err != nil {
+		fmt.Fprintf(stderr, "jobs submit: %v\n", err)
+		return 1
+	}
+	printStatus(stdout, st)
+	if !*wait || st.State.Terminal() {
+		return finish(stdout, st)
+	}
+	st, err = c.Watch(ctx, st.ID, func(ev relpipe.JobStatus) { printStatus(stdout, ev) })
+	if err != nil {
+		fmt.Fprintf(stderr, "jobs submit: %v\n", err)
+		return 1
+	}
+	return finish(stdout, st)
+}
+
+func cmdStatus(ctx context.Context, c *relpipe.JobsClient, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: jobs status <job-id>")
+		return 1
+	}
+	st, err := c.Status(ctx, args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "jobs status: %v\n", err)
+		return 1
+	}
+	b, _ := json.MarshalIndent(st, "", "  ")
+	fmt.Fprintln(stdout, string(b))
+	if st.State.Terminal() && st.State != relpipe.JobSucceeded {
+		return 1
+	}
+	return 0
+}
+
+func cmdWatch(ctx context.Context, c *relpipe.JobsClient, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: jobs watch <job-id>")
+		return 1
+	}
+	st, err := c.Watch(ctx, args[0], func(ev relpipe.JobStatus) { printStatus(stdout, ev) })
+	if err != nil {
+		fmt.Fprintf(stderr, "jobs watch: %v\n", err)
+		return 1
+	}
+	return finish(stdout, st)
+}
+
+func cmdCancel(ctx context.Context, c *relpipe.JobsClient, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: jobs cancel <job-id>")
+		return 1
+	}
+	st, err := c.Cancel(ctx, args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "jobs cancel: %v\n", err)
+		return 1
+	}
+	printStatus(stdout, st)
+	return 0
+}
+
+func cmdList(ctx context.Context, c *relpipe.JobsClient, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jobs list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	client := fs.String("client", "", "filter by client name")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	sts, err := c.List(ctx, *client)
+	if err != nil {
+		fmt.Fprintf(stderr, "jobs list: %v\n", err)
+		return 1
+	}
+	for _, st := range sts {
+		printStatus(stdout, st)
+	}
+	return 0
+}
+
+// printStatus prints one compact status line.
+func printStatus(w io.Writer, st relpipe.JobStatus) {
+	line := fmt.Sprintf("%s  %-9s  %-9s", st.ID, st.Kind, st.State)
+	if st.Progress.Total > 0 {
+		line += fmt.Sprintf("  %d/%d", st.Progress.Done, st.Progress.Total)
+	}
+	if st.Cached {
+		line += "  (cached)"
+	}
+	fmt.Fprintln(w, line)
+}
+
+// finish prints a terminal job's result document and maps its state to
+// the exit status.
+func finish(w io.Writer, st relpipe.JobStatus) int {
+	if len(st.Result) > 0 {
+		fmt.Fprintln(w, string(st.Result))
+	}
+	if st.State == relpipe.JobSucceeded {
+		return 0
+	}
+	return 1
+}

@@ -1,20 +1,27 @@
 // Command serve runs the concurrent solver service: an HTTP JSON API
-// exposing optimize, evaluate, min-period, frontier, min-cost, simulate
-// and batch endpoints over a bounded worker pool with a result cache and
-// in-flight deduplication (see internal/service).
+// exposing optimize, evaluate, min-period, frontier, min-cost, simulate,
+// adapt, batch and async job endpoints over a bounded worker pool with a
+// result cache and in-flight deduplication (see internal/service and
+// API.md).
 //
 // Usage:
 //
 //	serve [-addr :8080] [-workers 0] [-queue 0] [-cache 1024] [-timeout 30s] [-grace 10s]
 //	      [-solver-parallel 0] [-search-restarts 32] [-search-budget 200000]
+//	      [-jobs 1024] [-jobs-per-client 16] [-jobs-ttl 10m] [-jobs-dump path]
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener
-// closes, in-flight requests get up to the shutdown grace period to
-// finish, and the worker pool drains.
+// closes, SSE job watchers receive a final shutdown event, in-flight
+// requests get up to the shutdown grace period to finish, in-flight
+// async jobs get their own grace window to drain to a terminal status
+// (stragglers are cancelled rather than pinning the process into a
+// supervisor kill; with -jobs-dump the terminal statuses are persisted
+// as a JSON document before exit), and the worker pool drains.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"relpipe"
 	"relpipe/internal/service"
 )
 
@@ -35,7 +43,7 @@ func main() {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "pending-solve queue size (0 = 4x workers)")
 	cacheSize := fs.Int("cache", 1024, "result cache entries (negative disables)")
-	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve timeout")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve timeout (sync endpoints)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
 	solverParallel := fs.Int("solver-parallel", 0,
 		"per-request solver parallelism (0 = GOMAXPROCS/workers, negative = sequential)")
@@ -43,6 +51,10 @@ func main() {
 		"cap on heuristic-search restarts per request (0 = default 32)")
 	searchBudget := fs.Int("search-budget", 0,
 		"cap on heuristic-search iterations per restart per request (0 = default 200000)")
+	maxJobs := fs.Int("jobs", 0, "async job store size, all states (0 = default 1024)")
+	jobsPerClient := fs.Int("jobs-per-client", 0, "live async jobs per client (0 = default 16)")
+	jobsTTL := fs.Duration("jobs-ttl", 0, "terminal async jobs stay queryable this long (0 = default 10m)")
+	jobsDump := fs.String("jobs-dump", "", "write terminal job statuses to this file on shutdown")
 	fs.Parse(os.Args[1:])
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -60,15 +72,19 @@ func main() {
 		SolverParallelism: *solverParallel,
 		MaxSearchRestarts: *searchRestarts,
 		MaxSearchBudget:   *searchBudget,
-	}, *grace, log.Default()); err != nil {
+		MaxJobs:           *maxJobs,
+		MaxJobsPerClient:  *jobsPerClient,
+		JobTTL:            *jobsTTL,
+	}, *grace, *jobsDump, log.Default()); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
 }
 
 // run serves the solver service on ln until ctx is cancelled, then shuts
-// down gracefully: stop accepting, give in-flight requests the grace
-// period, drain the worker pool.
-func run(ctx context.Context, ln net.Listener, opts service.Options, grace time.Duration, logger *log.Logger) error {
+// down gracefully: stop accepting, end SSE job watches, give in-flight
+// requests the grace period, drain the async jobs to terminal statuses
+// (dumping them to jobsDump when set), drain the worker pool.
+func run(ctx context.Context, ln net.Listener, opts service.Options, grace time.Duration, jobsDump string, logger *log.Logger) error {
 	svc := service.NewServer(opts)
 	httpSrv := &http.Server{
 		Handler:           svc,
@@ -87,13 +103,44 @@ func run(ctx context.Context, ln net.Listener, opts service.Options, grace time.
 	}
 
 	logger.Printf("shutting down (grace %v)", grace)
+	// Ending the SSE event streams first keeps long-lived watch
+	// connections from pinning Shutdown to the full grace period.
+	svc.BeginShutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	err := httpSrv.Shutdown(shutdownCtx)
-	svc.Close()
+	// Drain in-flight jobs to a terminal status before the pool goes
+	// down, so the dump below never records a live state. Jobs get
+	// their own grace window (total shutdown ≤ ~2×grace); stragglers
+	// are cancelled rather than allowed to pin the process into a
+	// supervisor SIGKILL that would lose the dump.
+	svc.CloseWithin(grace)
+	if jobsDump != "" {
+		if derr := dumpJobs(svc, jobsDump); derr != nil {
+			logger.Printf("jobs dump failed: %v", derr)
+			if err == nil {
+				err = derr
+			}
+		} else {
+			logger.Printf("terminal job statuses written to %s", jobsDump)
+		}
+	}
 	if srvErr := <-errc; srvErr != nil && !errors.Is(srvErr, http.ErrServerClosed) {
 		return srvErr
 	}
 	logger.Printf("shutdown complete")
 	return err
+}
+
+// dumpJobs persists every stored job's terminal status as a JSON
+// document ({"jobs": [...]}, newest first — the /v1/jobs list shape),
+// so operators can audit what a drained instance finished.
+func dumpJobs(svc *service.Server, path string) error {
+	// relpipe.JobStatus aliases the engine's Status, so the snapshot is
+	// already the wire type.
+	b, err := json.MarshalIndent(relpipe.JobListResponse{Jobs: svc.Jobs().Snapshot("")}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"testing"
 	"time"
 
@@ -17,8 +18,9 @@ import (
 
 // startTestService runs the serve loop on an ephemeral port and returns
 // its base URL plus a shutdown function that triggers and awaits the
-// graceful exit.
-func startTestService(t *testing.T) (string, func() error) {
+// graceful exit. jobsDump optionally names the terminal-status dump
+// file.
+func startTestService(t *testing.T, jobsDump string) (string, func() error) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -27,7 +29,7 @@ func startTestService(t *testing.T) (string, func() error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, ln, service.Options{Workers: 2}, 5*time.Second,
+		errc <- run(ctx, ln, service.Options{Workers: 2}, 5*time.Second, jobsDump,
 			log.New(io.Discard, "", 0))
 	}()
 	return "http://" + ln.Addr().String(), func() error {
@@ -42,7 +44,7 @@ func startTestService(t *testing.T) (string, func() error) {
 }
 
 func TestServeHealthzAndOptimize(t *testing.T) {
-	url, shutdown := startTestService(t)
+	url, shutdown := startTestService(t, "")
 
 	// The listener is already accepting when run starts serving; poll
 	// healthz until the handler answers.
@@ -97,5 +99,89 @@ func TestServeHealthzAndOptimize(t *testing.T) {
 	// After shutdown the port must refuse connections.
 	if _, err := http.Get(url + "/healthz"); err == nil {
 		t.Fatal("server still answering after shutdown")
+	}
+}
+
+// TestShutdownDrainsJobsAndPersistsStatus exercises the graceful-exit
+// contract for async jobs: an in-flight job submitted just before the
+// SIGTERM-equivalent cancel is drained to a terminal status (not
+// killed), and -jobs-dump persists that status before the process
+// exits.
+func TestShutdownDrainsJobsAndPersistsStatus(t *testing.T) {
+	dump := t.TempDir() + "/jobs.json"
+	url, shutdown := startTestService(t, dump)
+	waitHealthy(t, url)
+
+	// A multi-restart heuristic search is slow enough to still be in
+	// flight when shutdown begins.
+	req, err := json.Marshal(relpipe.OptimizeRequest{
+		Instance: relpipe.Instance{
+			Chain:    relpipe.RandomChain(7, 80, 1, 100, 1, 10),
+			Platform: relpipe.HomogeneousPlatform(12, 1, 1e-8, 1, 1e-5, 3),
+		},
+		Method: "heuristic",
+		Search: &relpipe.SearchParams{Restarts: 8, Budget: 20000, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &relpipe.JobsClient{BaseURL: url}
+	st, err := c.Submit(context.Background(), "optimize", json.RawMessage(req), "drain-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State.Terminal() {
+		t.Fatalf("job already terminal at submit: %+v", st)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	// The dump must exist and record the job with a terminal status —
+	// the drain finished the solve rather than abandoning it.
+	b, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatalf("jobs dump not written: %v", err)
+	}
+	var lr relpipe.JobListResponse
+	if err := json.Unmarshal(b, &lr); err != nil {
+		t.Fatalf("jobs dump unparsable: %v", err)
+	}
+	found := false
+	for _, js := range lr.Jobs {
+		if js.ID != st.ID {
+			continue
+		}
+		found = true
+		if !js.State.Terminal() {
+			t.Fatalf("dumped job not terminal: %+v", js)
+		}
+		if js.State != relpipe.JobSucceeded {
+			t.Fatalf("drained job state = %s, want succeeded", js.State)
+		}
+		if len(js.Result) == 0 {
+			t.Fatal("dumped job has no result document")
+		}
+	}
+	if !found {
+		t.Fatalf("job %s missing from dump %s", st.ID, b)
+	}
+}
+
+// waitHealthy polls /healthz until the service answers.
+func waitHealthy(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

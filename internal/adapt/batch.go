@@ -9,6 +9,7 @@ import (
 	"relpipe/internal/mapping"
 	"relpipe/internal/par"
 	"relpipe/internal/platform"
+	"relpipe/internal/progress"
 	"relpipe/internal/rng"
 )
 
@@ -37,10 +38,16 @@ func RunBatch(ctx context.Context, c chain.Chain, pl platform.Platform, m0 mappi
 	for r := range seeds {
 		seeds[r] = master.Uint64()
 	}
+	reps := progress.NewCounter(int64(replications), opts.Progress)
 	runs, err := par.Map(ctx, parallelism, replications, func(r int) (RunResult, error) {
 		o := opts
 		o.Seed = seeds[r]
-		return Run(c, pl, m0, o)
+		o.Progress = nil // per-replication runs report nothing themselves
+		res, err := Run(c, pl, m0, o)
+		if err == nil {
+			reps.Add(1)
+		}
+		return res, err
 	})
 	if err != nil {
 		return BatchResult{}, err

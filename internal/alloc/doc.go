@@ -1,0 +1,9 @@
+// Package alloc implements the processor-allocation step of the mapping
+// problem: given a fixed partition of the chain into intervals, choose
+// which processors replicate each interval.
+//
+// Greedy is the paper's Algo-Alloc (§5.5), optimal on homogeneous
+// platforms (Theorem 4). GreedyHet is the §7.2 generalization used by the
+// heuristics on heterogeneous platforms: it honours a period bound and
+// optional task↔processor compatibility constraints.
+package alloc

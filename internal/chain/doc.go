@@ -1,0 +1,12 @@
+// Package chain implements the application model of the paper (§2.1):
+// a linear chain of n tasks τ_1 → τ_2 → … → τ_n. Each task τ_i is a block
+// of code characterized by the pair (w_i, o_i): w_i is its amount of work
+// and o_i the size of its output data set. By convention o_n = 0 (the last
+// task writes to actuator drivers), and the input size of τ_i equals
+// o_{i-1}.
+//
+// Key entry points: Chain (the model), Chain.Validate, and the
+// deterministic generators Random and PaperRandom (pure functions of
+// their rng stream, so every experiment regenerates the same instances
+// from a seed).
+package chain

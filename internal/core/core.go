@@ -1,7 +1,3 @@
-// Package core is the library facade: it ties the chain/platform models,
-// the evaluation of §4, the polynomial algorithms of §5, the exact solver
-// and ILP, and the §7 heuristics into a single Optimize entry point. The
-// module root package relpipe re-exports this API for downstream users.
 package core
 
 import (
@@ -21,6 +17,7 @@ import (
 	"relpipe/internal/ilp"
 	"relpipe/internal/mapping"
 	"relpipe/internal/platform"
+	"relpipe/internal/progress"
 	"relpipe/internal/rbd"
 	"relpipe/internal/search"
 )
@@ -46,6 +43,11 @@ type Exec struct {
 	Budget     int
 	Seed       uint64
 	TimeBudget time.Duration
+	// Progress, when non-nil, receives completion counts from the
+	// engines that report them — search restarts here (the other
+	// Optimize methods finish in one unit of work and report nothing).
+	// Reporting never influences a result (see internal/progress).
+	Progress progress.Func
 }
 
 func (e Exec) ctx() context.Context {
@@ -243,6 +245,7 @@ func (e Exec) SearchOptions() search.Options {
 	return search.Options{
 		Restarts: e.Restarts, Budget: e.Budget, Seed: e.Seed,
 		TimeBudget: e.TimeBudget, Parallelism: e.Parallelism, Context: e.Ctx,
+		Progress: e.Progress,
 	}
 }
 

@@ -1,0 +1,14 @@
+// Package core is the library facade: it ties the chain/platform models,
+// the evaluation of §4, the polynomial algorithms of §5, the exact solver
+// and ILP, and the §7 heuristics into a single Optimize entry point. The
+// module root package relpipe re-exports this API for downstream users.
+//
+// Key entry points: Optimize/OptimizeExec (method Auto routes to the
+// strongest applicable solver; MaxExactTasks is the enumeration
+// ceiling), MinPeriodMethodExec, MinimizeCostExec, Evaluate, and the
+// Exec execution budget (parallelism, cancellation, search knobs,
+// progress hook). Determinism contract: an answer depends only on
+// (instance, bounds, method, search knobs) — never on Exec.Parallelism,
+// Ctx or Progress — and Instance.Canonical is the stable digest the
+// service keys its cache on.
+package core

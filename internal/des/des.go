@@ -1,7 +1,3 @@
-// Package des is a small deterministic discrete-event simulation engine:
-// a time-ordered event queue with stable FIFO tie-breaking, so that two
-// runs with the same inputs produce identical event orders. Package sim
-// builds the pipelined-execution simulator on top of it.
 package des
 
 import (

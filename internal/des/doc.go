@@ -1,0 +1,10 @@
+// Package des is a small deterministic discrete-event simulation engine:
+// a time-ordered event queue with stable FIFO tie-breaking, so that two
+// runs with the same inputs produce identical event orders. Package sim
+// builds the pipelined-execution simulator on top of it.
+//
+// Key entry points: New, Engine.Schedule/At, Engine.Run and
+// Engine.RunUntil. Determinism contract: event order is a pure function
+// of the scheduled (time, insertion order) pairs — the engine itself
+// introduces no randomness and no goroutines.
+package des

@@ -1,15 +1,3 @@
-// Package dp implements the paper's polynomial algorithms:
-//
-//   - Algorithm 1 (§5.1): reliability-optimal interval mapping on a
-//     homogeneous platform, by dynamic programming over (tasks mapped,
-//     processors used) in O(n²p²).
-//   - Algorithm 2 (§5.2): the same under an upper bound on the period.
-//   - Period minimization under a reliability bound, by searching the
-//     O(n²) candidate period values with Algorithm 2 (§5.2, last remark).
-//   - Algorithm 3 (§7.1, Heur-L): the latency-oriented partition that
-//     cuts the chain at the m-1 cheapest communications.
-//   - Algorithm 4 (§7.1, Heur-P): the period-oriented partition that
-//     balances interval loads by dynamic programming.
 package dp
 
 import (

@@ -1,16 +1,3 @@
-// Package exact solves the tri-criteria mapping problem *optimally* on
-// homogeneous platforms: maximize reliability subject to bounds on period
-// and latency.
-//
-// The (reliability | latency) problem is NP-complete (Theorem 3), so no
-// polynomial algorithm exists unless P=NP; at the paper's experimental
-// scale (n = 15 tasks → 2^14 = 16384 partitions) exhaustive enumeration
-// of partitions is cheap, and for each partition Algo-Alloc yields the
-// reliability-optimal allocation (Theorem 4). On homogeneous platforms
-// the period and latency of a mapping depend only on its partition, so
-// enumeration + optimal allocation is a *global* optimum. This solver
-// plays the role of the paper's CPLEX ILP (§5.4) in the experiments, and
-// cross-checks our own branch-and-bound ILP in tests.
 package exact
 
 import (

@@ -1,0 +1,17 @@
+// Package expfig reproduces the paper's evaluation (§8, Figures 6–15).
+//
+// Homogeneous experiments (Figs. 6–11): 100 random instances with n = 15
+// tasks (w ∈ [1,100], o ∈ [1,10]) on p = 10 unit-speed processors
+// (λ_p = 1e-8, λ_ℓ = 1e-5, b = 1, K = 3). Three curves per figure: the
+// optimal solver (the paper's ILP; here the equivalent partition-
+// enumeration optimum), Heur-L and Heur-P.
+//
+// Heterogeneous experiments (Figs. 12–15): same chains on platforms with
+// speeds ∈ [1,100], compared against homogeneous platforms of speed 5;
+// four curves (Heur-L/Heur-P × HET/HOM).
+//
+// Averaging conventions follow the paper: homogeneous failure-probability
+// figures average over the instances where *both* heuristics found a
+// solution (§8.1); heterogeneous ones average per curve over the
+// instances that curve solved (§8.2).
+package expfig

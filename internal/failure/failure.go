@@ -1,19 +1,3 @@
-// Package failure implements the reliability arithmetic of the paper's
-// failure model (Shatz & Wang): transient failures with a constant Poisson
-// rate λ per hardware component, so that a component running for a
-// duration d is reliable with probability e^{-λd}.
-//
-// All computations are carried in failure-probability space.
-// The probabilities at play span 1e-12 … 1e-3 (λ_p = 1e-8, λ_ℓ = 1e-5 in
-// the paper's experiments), far below the resolution of 1-x arithmetic
-// around 1.0, so the package systematically uses expm1/log1p:
-//
-//	failure of duration d at rate λ:  f = -expm1(-λd)          (exact)
-//	serial composition:               F = -expm1(Σ log1p(-f_i)) (exact)
-//	parallel composition:             F = Π f_i                 (exact)
-//
-// Reliability-space helpers (LogRel) are provided for objective functions
-// that maximize Σ log r_i.
 package failure
 
 import "math"

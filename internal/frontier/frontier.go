@@ -1,10 +1,3 @@
-// Package frontier enumerates Pareto-optimal trade-offs between the
-// three antagonistic criteria — reliability, period, latency — of the
-// tri-criteria mapping problem on homogeneous platforms. The paper
-// explores this space one bound pair at a time (Figures 6–11); the
-// frontier view exposes the whole surface of one instance at once:
-// every (period, latency, failure) triple such that no mapping improves
-// one criterion without degrading another.
 package frontier
 
 import (
@@ -19,6 +12,7 @@ import (
 	"relpipe/internal/interval"
 	"relpipe/internal/mapping"
 	"relpipe/internal/platform"
+	"relpipe/internal/progress"
 )
 
 // Point is one Pareto-optimal trade-off with enough information to
@@ -53,14 +47,26 @@ func Compute(c chain.Chain, pl platform.Platform) ([]Point, error) {
 // profile-to-point conversion is a field copy per survivor, far below
 // goroutine overhead, and stays a plain loop.
 func ComputePar(ctx context.Context, c chain.Chain, pl platform.Platform, parallelism int) ([]Point, error) {
+	return ComputeParProgress(ctx, c, pl, parallelism, nil)
+}
+
+// ComputeParProgress is ComputePar reporting coarse progress: one unit
+// per pipeline stage (profiles enumerated, dominance filter done,
+// points sorted — 3 total; see internal/progress). The stages are the
+// unit because the frontier's point count is unknown until the
+// dominance filter lands. Reporting never influences the result.
+func ComputeParProgress(ctx context.Context, c chain.Chain, pl platform.Platform, parallelism int, report progress.Func) ([]Point, error) {
+	stages := progress.NewCounter(3, report)
 	profiles, err := exact.ProfilesPar(ctx, c, pl, parallelism)
 	if err != nil {
 		return nil, err
 	}
+	stages.Add(1)
 	pareto, err := exact.ParetoPar(ctx, profiles, parallelism)
 	if err != nil {
 		return nil, err
 	}
+	stages.Add(1)
 	pts := make([]Point, len(pareto))
 	for i, pr := range pareto {
 		pts[i] = Point{
@@ -81,6 +87,7 @@ func ComputePar(ctx context.Context, c chain.Chain, pl platform.Platform, parall
 		}
 		return pts[a].LogRel > pts[b].LogRel
 	})
+	stages.Add(1)
 	return pts, nil
 }
 

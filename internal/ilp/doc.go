@@ -1,0 +1,11 @@
+// Package ilp implements a small exact 0-1 / integer linear program
+// solver: best-first branch and bound over the LP relaxation provided by
+// package lp. It stands in for the CPLEX solver the paper uses for its
+// §5.4 integer program; BuildPaper constructs that program and decodes
+// its solutions back into interval mappings.
+//
+// Key entry points: BuildPaper and PaperModel.Solve. Determinism
+// contract: branching order is fixed (best-first with stable
+// tie-breaking), so a model solves to the same optimum and the same
+// decoded mapping on every run; the solver is sequential.
+package ilp

@@ -1,8 +1,3 @@
-// Package ilp implements a small exact 0-1 / integer linear program
-// solver: best-first branch and bound over the LP relaxation provided by
-// package lp. It stands in for the CPLEX solver the paper uses for its
-// §5.4 integer program; BuildPaper constructs that program and decodes
-// its solutions back into interval mappings.
 package ilp
 
 import (

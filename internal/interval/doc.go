@@ -1,0 +1,10 @@
+// Package interval represents interval mappings' first ingredient: the
+// division of a task chain into m intervals of consecutive tasks (§2.3).
+// Interval j covers tasks [First, Last] inclusive (0-based); consecutive
+// intervals tile the chain exactly.
+//
+// The package also provides partition enumeration, which powers the exact
+// tri-criteria solver: a chain of n tasks has 2^{n-1} partitions, small
+// enough to enumerate at the paper's experimental scale (n = 15 →
+// 16384 partitions).
+package interval

@@ -1,0 +1,26 @@
+// Package jobs is the in-process async job engine behind the service's
+// /v1/jobs endpoints: submit-and-poll execution of the long-running
+// solves (multi-restart searches, Monte-Carlo batches, frontier sweeps)
+// that would otherwise hold an HTTP connection open for seconds to
+// minutes.
+//
+// The engine manages job lifecycle only — queued → running →
+// succeeded/failed/cancelled — and leaves execution policy to the
+// caller: a job's Runner decides how to obtain its result (the service
+// routes it through the shared worker pool and result cache, so an
+// async job is bit-identical to the synchronous endpoint for the same
+// request). Progress reports flow in through the Control handed to each
+// Runner, are clamped to a monotone maximum, and fan out to subscribers
+// (the SSE handler) through coalescing notification channels, so a slow
+// watcher never stalls a solver.
+//
+// The store is bounded three ways: a global cap on stored jobs
+// (terminal jobs are evicted oldest-first to admit new work; live jobs
+// are never evicted), a per-client cap on live jobs, and a TTL after
+// which a background janitor garbage-collects terminal jobs.
+//
+// Determinism contract: the engine adds no randomness to results — a
+// job's outcome is exactly its Runner's, and cancellation can only
+// abort a run (never corrupt it), so a cancelled-and-resubmitted job
+// reproduces the synchronous answer bit for bit.
+package jobs

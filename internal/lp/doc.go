@@ -1,0 +1,12 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	maximize  c·x   subject to   A x {≤,=,≥} b,   x ≥ 0.
+//
+// It exists because the paper solves its §5.4 integer program with CPLEX,
+// which is unavailable here; package ilp builds a branch-and-bound solver
+// on top of this relaxation solver. The implementation favours robustness
+// over speed: Bland's pivoting rule guarantees termination on degenerate
+// problems, and the instances at play are tiny (hundreds of variables,
+// tens of rows).
+package lp

@@ -1,7 +1,3 @@
-// Package mapping implements interval mappings with replication (§2.5)
-// and their evaluation (§4): reliability via the routed serial-parallel
-// RBD (Eq. 9), expected and worst-case latency (Eqs. 3, 5, 7), and
-// expected and worst-case period (Eqs. 6, 8).
 package mapping
 
 import (

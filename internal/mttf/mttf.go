@@ -1,10 +1,3 @@
-// Package mttf turns the paper's per-data-set reliability (Eq. 9) into
-// the mission-level dependability quantities certification arguments are
-// written in (the automotive context of §1): mean time to failure,
-// survival probability over a mission, and expected failure counts.
-// Data sets are processed every period; failures of distinct data sets
-// are independent under the transient ("hot") failure model of §2.4, so
-// the number of data sets until the first failure is geometric.
 package mttf
 
 import (

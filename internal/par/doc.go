@@ -1,0 +1,13 @@
+// Package par is the shared parallel-execution kernel of the solvers:
+// bounded work-sharding over index ranges with deterministic, ordered
+// result collection and context cancellation.
+//
+// Every helper takes an explicit parallelism degree (0 = GOMAXPROCS,
+// 1 = run inline on the caller's goroutine) and guarantees that the
+// *results* are bit-identical to a sequential run: work is split into
+// contiguous shards of the index range, each shard's output is collected
+// under its shard index, and reductions happen in shard order on the
+// caller's goroutine. Only scheduling — never output — depends on the
+// degree, which is what lets the differential tests assert parallel ==
+// sequential for every solver built on this package.
+package par

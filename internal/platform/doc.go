@@ -1,0 +1,11 @@
+// Package platform implements the target platform model of the paper
+// (§2.2, §2.4): p processors connected by homogeneous point-to-point links
+// of bandwidth b, with bounded multi-port communication (at most K
+// simultaneous outgoing connections per processor, which also bounds the
+// replication factor of every interval). Processors may have heterogeneous
+// speeds s_u and failure rates λ_u; links share a single failure rate λ_ℓ.
+//
+// Key entry points: Platform, Platform.Validate, Platform.Homogeneous
+// (the predicate the Auto method routes on), and the deterministic
+// generators Homogeneous, PaperHomogeneous and PaperHeterogeneous.
+package platform

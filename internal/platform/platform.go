@@ -1,9 +1,3 @@
-// Package platform implements the target platform model of the paper
-// (§2.2, §2.4): p processors connected by homogeneous point-to-point links
-// of bandwidth b, with bounded multi-port communication (at most K
-// simultaneous outgoing connections per processor, which also bounds the
-// replication factor of every interval). Processors may have heterogeneous
-// speeds s_u and failure rates λ_u; links share a single failure rate λ_ℓ.
 package platform
 
 import (

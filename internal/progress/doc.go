@@ -1,0 +1,10 @@
+// Package progress is the observable-progress hook shared by the
+// long-running engines (search restarts, sim/adapt Monte-Carlo
+// replications, frontier sweep stages). An engine that accepts a
+// progress.Func reports monotonically non-decreasing completion counts
+// as its parallel units finish; the Counter type makes those reports
+// safe to issue from internal/par shards. Progress reporting never
+// influences a result — it is observation only, so every determinism
+// contract in the tree (bit-identical results at any parallelism)
+// survives attaching a hook.
+package progress

@@ -1,0 +1,41 @@
+package progress
+
+import "sync/atomic"
+
+// Func receives progress updates: done units completed out of total.
+// done is monotonically non-decreasing across the calls of one run and
+// reaches total exactly when the run finishes normally. Implementations
+// must be safe for concurrent use (engines call from parallel shards)
+// and should return quickly — a slow hook stalls a worker.
+type Func func(done, total int64)
+
+// Counter turns per-unit completion events from concurrent workers into
+// monotone Func reports. The zero value is unusable; build with
+// NewCounter. A nil *Counter is safe: Add is a no-op, so engines can
+// construct one only when a hook is attached.
+type Counter struct {
+	total int64
+	done  atomic.Int64
+	fn    Func
+}
+
+// NewCounter returns a counter over total units reporting to fn, or nil
+// when fn is nil (making every Add a no-op).
+func NewCounter(total int64, fn Func) *Counter {
+	if fn == nil {
+		return nil
+	}
+	return &Counter{total: total, fn: fn}
+}
+
+// Add records n completed units and reports the new cumulative count.
+// Safe for concurrent use: the count is atomic and each caller reports
+// the value its own increment produced. Two concurrent callers may
+// invoke fn out of order, so a consumer that needs a strictly monotone
+// view keeps a running max (the jobs engine does exactly that).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.fn(c.done.Add(n), c.total)
+}

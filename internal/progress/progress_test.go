@@ -1,0 +1,62 @@
+package progress
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilCounterIsNoOp(t *testing.T) {
+	var c *Counter
+	c.Add(1) // must not panic
+	if got := NewCounter(5, nil); got != nil {
+		t.Fatalf("NewCounter(nil fn) = %v, want nil", got)
+	}
+}
+
+func TestCounterReports(t *testing.T) {
+	var dones []int64
+	var totals []int64
+	c := NewCounter(3, func(done, total int64) {
+		dones = append(dones, done)
+		totals = append(totals, total)
+	})
+	c.Add(1)
+	c.Add(1)
+	c.Add(1)
+	if len(dones) != 3 || dones[2] != 3 {
+		t.Fatalf("dones = %v", dones)
+	}
+	for _, tt := range totals {
+		if tt != 3 {
+			t.Fatalf("totals = %v", totals)
+		}
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	const n = 64
+	var maxSeen atomic.Int64
+	var calls atomic.Int64
+	c := NewCounter(n, func(done, total int64) {
+		calls.Add(1)
+		for {
+			cur := maxSeen.Load()
+			if done <= cur || maxSeen.CompareAndSwap(cur, done) {
+				return
+			}
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Add(1) }()
+	}
+	wg.Wait()
+	if maxSeen.Load() != n {
+		t.Fatalf("max done = %d, want %d", maxSeen.Load(), n)
+	}
+	if calls.Load() != n {
+		t.Fatalf("calls = %d, want %d", calls.Load(), n)
+	}
+}

@@ -1,22 +1,3 @@
-// Package rbd implements Reliability Block Diagrams (§4). A RBD is
-// operational iff some source→destination path has every block
-// operational; blocks fail independently.
-//
-// Three representations are provided, mirroring the paper's discussion:
-//
-//   - SP trees (series-parallel diagrams), whose reliability is computed
-//     in linear time. The mapping-with-routing-operations of Fig. 5
-//     always yields an SP tree (Routed), which is exactly Eq. (9).
-//   - StageSystem, the *unrouted* diagram of Fig. 4 (full bipartite links
-//     between consecutive replica sets). Its reliability has no closed
-//     product form, but for chains it is computed exactly by a dynamic
-//     program over delivering replica subsets (polynomial in the number
-//     of stages, exponential only in the replication bound K ≤ 3-4).
-//   - System, a generic coherent system over independent blocks with
-//     exhaustive 2^B evaluation, minimal-cut enumeration, and the
-//     Esary–Proschan cut-set lower bound the paper cites [24]; used to
-//     cross-validate the other two and to quantify the cost of routing
-//     operations (the paper's future-work question).
 package rbd
 
 import (

@@ -1,0 +1,10 @@
+// Package report generates a self-contained markdown dependability
+// report for one instance: the optimized mapping, its §4 evaluation, the
+// concrete periodic schedule, the Pareto frontier context, mission-level
+// reliability figures, and an optional Monte-Carlo validation run. It
+// consolidates the whole library the way a deployment review would.
+//
+// Key entry point: Generate. Determinism contract: for a fixed seed the
+// report bytes are identical run to run (every underlying engine is
+// deterministic), so reports can be diffed across code changes.
+package report

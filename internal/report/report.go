@@ -1,8 +1,3 @@
-// Package report generates a self-contained markdown dependability
-// report for one instance: the optimized mapping, its §4 evaluation, the
-// concrete periodic schedule, the Pareto frontier context, mission-level
-// reliability figures, and an optional Monte-Carlo validation run. It
-// consolidates the whole library the way a deployment review would.
 package report
 
 import (

@@ -1,12 +1,3 @@
-// Package rng provides a small, deterministic pseudo-random number
-// generator used by every stochastic component of the repository
-// (instance generators, the failure-injection simulator, property tests).
-//
-// The generator is xoshiro256** seeded through splitmix64, following
-// Blackman & Vigna. It is not cryptographically secure; it is chosen for
-// speed, very long period (2^256-1) and full reproducibility from a single
-// uint64 seed, which the experiment harness relies on: every figure of the
-// paper reproduction is regenerated bit-identically from its seed.
 package rng
 
 import "math"

@@ -1,15 +1,3 @@
-// Package sched constructs the concrete periodic schedule the paper's
-// real-time contract presumes (§1: data set K enters at K·P and must
-// complete by K·P + L): a closed-form, failure-free steady-state
-// timetable of every computation and communication of the pipelined
-// execution. Data set d's operations are data set 0's shifted by d·P —
-// the schedule is strictly periodic, which is valid whenever P is at
-// least the mapping's worst-case period (every resource then has enough
-// slack to repeat its window each period).
-//
-// The table doubles as an independent oracle for the simulator: in
-// failure-free runs the discrete-event timings must coincide with the
-// closed form (cross-checked in the tests of both packages).
 package sched
 
 import (

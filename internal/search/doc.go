@@ -1,0 +1,27 @@
+// Package search is the large-n solve path: a scalable heuristic
+// optimizer for instances far beyond the exact solvers' 2^{n-1}
+// enumeration ceiling (~22 tasks). It seeds from the paper's §7
+// heuristics (Heur-L / Heur-P candidates over a sampled range of
+// interval counts), refines each seed with simulated-annealing-style
+// local search over interval boundaries and processor/replica
+// allocation, and runs a random-restart portfolio across internal/par
+// shards with a deterministic best-of reduce — so the result is
+// bit-identical at any parallelism degree for a fixed seed.
+//
+// Three objectives share the engine:
+//
+//   - Optimize: maximize reliability under period/latency bounds
+//     (the §6 general problem, NP-complete — Theorem 5);
+//   - MinimizePeriod: minimize the worst-case period under a
+//     reliability floor and optional latency bound (§5.2 converse,
+//     heterogeneous or large-n variant);
+//   - MinimizeCost: minimize the total price of the enrolled
+//     processors under a reliability floor and bounds (the §9
+//     resource-cost extension, beyond internal/cost's enumeration).
+//
+// Determinism contract: with the default iteration/plateau budgets the
+// result depends only on (instance, Options minus Parallelism/Context).
+// A wall-clock TimeBudget is a safety cap: when it fires mid-run the
+// result is still valid and feasible but may differ across machines and
+// degrees (Stats.Truncated reports it).
+package search

@@ -1,29 +1,3 @@
-// Package search is the large-n solve path: a scalable heuristic
-// optimizer for instances far beyond the exact solvers' 2^{n-1}
-// enumeration ceiling (~22 tasks). It seeds from the paper's §7
-// heuristics (Heur-L / Heur-P candidates over a sampled range of
-// interval counts), refines each seed with simulated-annealing-style
-// local search over interval boundaries and processor/replica
-// allocation, and runs a random-restart portfolio across internal/par
-// shards with a deterministic best-of reduce — so the result is
-// bit-identical at any parallelism degree for a fixed seed.
-//
-// Three objectives share the engine:
-//
-//   - Optimize: maximize reliability under period/latency bounds
-//     (the §6 general problem, NP-complete — Theorem 5);
-//   - MinimizePeriod: minimize the worst-case period under a
-//     reliability floor and optional latency bound (§5.2 converse,
-//     heterogeneous or large-n variant);
-//   - MinimizeCost: minimize the total price of the enrolled
-//     processors under a reliability floor and bounds (the §9
-//     resource-cost extension, beyond internal/cost's enumeration).
-//
-// Determinism contract: with the default iteration/plateau budgets the
-// result depends only on (instance, Options minus Parallelism/Context).
-// A wall-clock TimeBudget is a safety cap: when it fires mid-run the
-// result is still valid and feasible but may differ across machines and
-// degrees (Stats.Truncated reports it).
 package search
 
 import (
@@ -40,6 +14,7 @@ import (
 	"relpipe/internal/mapping"
 	"relpipe/internal/par"
 	"relpipe/internal/platform"
+	"relpipe/internal/progress"
 	"relpipe/internal/rng"
 )
 
@@ -96,6 +71,12 @@ type Options struct {
 	// cancellation.
 	Parallelism int
 	Context     context.Context
+
+	// Progress, when non-nil, receives (restartsCompleted, Restarts)
+	// after each restart of the portfolio finishes. Reports come from
+	// parallel shards (see internal/progress) and never influence the
+	// result.
+	Progress progress.Func
 }
 
 // Stats reports how a search run spent its budget.
@@ -232,8 +213,13 @@ func run(c chain.Chain, pl platform.Platform, opts Options, obj objective) (Resu
 		deadline = time.Now().Add(opts.TimeBudget)
 	}
 
+	restarts := progress.NewCounter(int64(opts.Restarts), opts.Progress)
 	outs, err := par.Map(opts.Context, opts.Parallelism, opts.Restarts, func(r int) (restartOut, error) {
-		return prob.restart(r, seeds, deadline)
+		out, err := prob.restart(r, seeds, deadline)
+		if err == nil {
+			restarts.Add(1)
+		}
+		return out, err
 	})
 	if err != nil {
 		return Result{}, false, err

@@ -1,0 +1,287 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"relpipe"
+	"relpipe/internal/jobs"
+	"relpipe/internal/progress"
+)
+
+// This file is the HTTP face of the async job engine (internal/jobs):
+// submit-and-poll execution of the existing solve kinds with streaming
+// progress over SSE and cancellation through the solvers' context
+// plumbing.
+//
+// Execution and determinism: a job runs the same parsed solve closure
+// through the same solveToBytes path (marshal + cache) as the
+// synchronous endpoint, inside the same worker pool — so its result is
+// bit-identical to the synchronous response for the same request, and a
+// submitted key that is already cached completes the job instantly
+// without occupying a worker. Unlike the fail-fast synchronous path, an
+// admitted job *waits* for a pool slot (Pool.DoWait); backpressure
+// moves to the job-store caps, which answer 429 + Retry-After.
+
+// jobStatusCode is the submit answer for accepted jobs.
+const jobStatusCode = http.StatusAccepted
+
+// handleJobSubmit admits one async job ("POST /v1/jobs").
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("jobs")
+	body, status, err := readBody(w, r, s.opts.MaxBodyBytes)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	var req relpipe.JobSubmitRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.submitJob(req)
+	if err != nil {
+		s.writeError(w, jobErrStatus(err), err)
+		return
+	}
+	s.writeJSON(w, jobStatusCode, st)
+}
+
+// submitJob validates, dedups against the result cache, and admits a
+// job. It returns the accepted job's status snapshot (already terminal
+// for a cache hit).
+func (s *Server) submitJob(req relpipe.JobSubmitRequest) (relpipe.JobStatus, error) {
+	var zero relpipe.JobStatus
+	if req.Kind == "batch" {
+		return s.submitBatchJob(req)
+	}
+	parse, ok := batchParsers[req.Kind]
+	if !ok {
+		return zero, fmt.Errorf("jobs: unknown kind %q", req.Kind)
+	}
+	key, solve, err := parse(req.Request, s.exec)
+	if err != nil {
+		return zero, err
+	}
+	key = req.Kind + "|" + key
+	// Dedup against the result cache: an async job for a cached key
+	// completes instantly (no worker, no queue wait).
+	if b, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHit()
+		j, err := s.jobs.SubmitCompleted(req.Kind, req.Client, jobs.Outcome{Status: http.StatusOK, Body: b})
+		if err != nil {
+			return zero, err
+		}
+		return relpipe.JobStatus(j.Status()), nil
+	}
+	j, err := s.jobs.Submit(context.Background(), req.Kind, req.Client,
+		func(ctx context.Context, ctl jobs.Control) jobs.Outcome {
+			out := s.runAsyncSolve(ctx, key, solve, ctl.Running, ctl.Progress)
+			return jobs.Outcome{Status: out.status, Body: out.body}
+		})
+	if err != nil {
+		return zero, err
+	}
+	return relpipe.JobStatus(j.Status()), nil
+}
+
+// runAsyncSolve executes one parsed solve on the async path: re-check
+// the cache (the flight for this key may have landed while the job
+// queued), block for a pool slot under the job's context — no request
+// timeout and no 429 shedding, that is the async contract — and run
+// through the shared solveToBytes (marshal + cache). running, when
+// non-nil, marks the queued→running transition once a worker picks the
+// solve up.
+func (s *Server) runAsyncSolve(ctx context.Context, key string, solve solveFunc, running func(), report progress.Func) outcome {
+	if b, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHit()
+		return outcome{http.StatusOK, b}
+	}
+	s.metrics.CacheMiss()
+	val, err := s.pool.DoWait(ctx, func() (any, error) {
+		if running != nil {
+			running()
+		}
+		return s.solveToBytes(key, solve, solveCtx{ctx: ctx, progress: report})
+	})
+	if err != nil {
+		return errorOutcome(statusForJob(err), err)
+	}
+	return outcome{http.StatusOK, val.([]byte)}
+}
+
+// submitBatchJob admits a whole /v1/batch document as one job: the
+// items fan out through the shared batch skeleton (runBatchItems) but
+// execute on the async path — each item honours the job's context (so
+// DELETE aborts in-flight item solves), waits for a pool slot instead
+// of shedding 429, and runs without the synchronous request timeout,
+// exactly like a single-kind job. Progress counts completed items. The
+// fan-out itself runs on the job's goroutine, never inside a pool
+// slot: its items occupy the slots, and a fan-out holding a slot while
+// waiting for them would deadlock a single-worker pool.
+func (s *Server) submitBatchJob(req relpipe.JobSubmitRequest) (relpipe.JobStatus, error) {
+	var zero relpipe.JobStatus
+	var batch relpipe.BatchRequest
+	if err := unmarshalStrict(req.Request, &batch); err != nil {
+		return zero, err
+	}
+	if len(batch.Jobs) == 0 {
+		return zero, errors.New("batch: no jobs")
+	}
+	if len(batch.Jobs) > s.opts.MaxBatchJobs {
+		return zero, fmt.Errorf("batch: %d jobs exceeds limit %d", len(batch.Jobs), s.opts.MaxBatchJobs)
+	}
+	j, err := s.jobs.Submit(context.Background(), req.Kind, req.Client,
+		func(ctx context.Context, ctl jobs.Control) jobs.Outcome {
+			ctl.Running()
+			total := int64(len(batch.Jobs))
+			ctl.Progress(0, total) // the item count is known up front
+			results := s.runBatchItems(batch.Jobs, func(kind string, parse parser, body []byte) outcome {
+				s.metrics.Request(kind)
+				if err := ctx.Err(); err != nil {
+					return errorOutcome(statusForJob(err), err)
+				}
+				itemKey, solve, err := parse(body, s.exec)
+				if err != nil {
+					return errorOutcome(http.StatusBadRequest, err)
+				}
+				return s.runAsyncSolve(ctx, kind+"|"+itemKey, solve, nil, nil)
+			}, func(done int64) { ctl.Progress(done, total) })
+			if err := ctx.Err(); err != nil {
+				return errorOutcomeJob(err)
+			}
+			b, err := json.Marshal(relpipe.BatchResponse{Results: results})
+			if err != nil {
+				return errorOutcomeJob(fmt.Errorf("%w: %v", errEncodeResponse, err))
+			}
+			return jobs.Outcome{Status: http.StatusOK, Body: b}
+		})
+	if err != nil {
+		return zero, err
+	}
+	return relpipe.JobStatus(j.Status()), nil
+}
+
+// handleJobStatus serves one job snapshot ("GET /v1/jobs/{id}").
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("jobs")
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, errors.New("jobs: no such job"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, relpipe.JobStatus(j.Status()))
+}
+
+// handleJobList serves every stored job, newest first, optionally
+// filtered by ?client= ("GET /v1/jobs").
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("jobs")
+	// relpipe.JobStatus is an alias of jobs.Status, so the snapshot
+	// slice is already the wire type.
+	s.writeJSON(w, http.StatusOK, relpipe.JobListResponse{Jobs: s.jobs.Snapshot(r.URL.Query().Get("client"))})
+}
+
+// handleJobCancel requests cancellation ("DELETE /v1/jobs/{id}"). The
+// answer is the job's current snapshot; the state flips to cancelled
+// asynchronously, as soon as the solver observes its cancelled context
+// (solvers poll between shards/iterations). Cancelling a terminal job
+// is a no-op that returns its result.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("jobs")
+	j, ok, _ := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, errors.New("jobs: no such job"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, relpipe.JobStatus(j.Status()))
+}
+
+// handleJobEvents streams a job's lifecycle over Server-Sent Events
+// ("GET /v1/jobs/{id}/events"): an immediate "progress" event with the
+// current snapshot, a "progress" event per observable change (monotone
+// — the engine clamps out-of-order reports from parallel workers), and
+// a terminal "done" event, after which the stream closes. Event data is
+// the relpipe.JobStatus document. The stream also closes when the
+// client disconnects or the server begins shutdown (final event
+// "shutdown" carrying the last snapshot).
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("jobs")
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, errors.New("jobs: no such job"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, errors.New("jobs: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch := j.Subscribe()
+	defer j.Unsubscribe(ch)
+	for {
+		st := j.Status()
+		if st.State.Terminal() {
+			writeSSE(w, fl, "done", st)
+			return
+		}
+		writeSSE(w, fl, "progress", st)
+		select {
+		case <-ch:
+		case <-j.Done():
+		case <-r.Context().Done():
+			return
+		case <-s.shutdownC:
+			writeSSE(w, fl, "shutdown", j.Status())
+			return
+		}
+	}
+}
+
+// writeSSE emits one Server-Sent Event with a JSON payload.
+func writeSSE(w http.ResponseWriter, fl http.Flusher, event string, st jobs.Status) {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	fl.Flush()
+}
+
+// errorOutcomeJob renders an error as a job outcome.
+func errorOutcomeJob(err error) jobs.Outcome {
+	out := errorOutcome(statusForJob(err), err)
+	return jobs.Outcome{Status: out.status, Body: out.body}
+}
+
+// statusForJob extends statusFor with the cancellation code: a job
+// aborted through DELETE records 499 (the de-facto "client closed
+// request" status) as its would-have-been HTTP status; the job state
+// is what reports the cancellation.
+func statusForJob(err error) int {
+	if errors.Is(err, context.Canceled) {
+		return 499
+	}
+	return statusFor(err)
+}
+
+// jobErrStatus maps submit-time errors to HTTP statuses: the capacity
+// errors are backpressure (429 + Retry-After), shutdown is 503,
+// anything else is a bad request.
+func jobErrStatus(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrStoreFull), errors.Is(err, jobs.ErrClientCap):
+		return http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}

@@ -80,6 +80,19 @@ func (m *Metrics) ObserveSolve(seconds float64) {
 // assert dedup and caching through it).
 func (m *Metrics) Solves() int64 { return m.solves.Load() }
 
+// QueueDepth returns the current pending-solve gauge.
+func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
+
+// MeanSolveSeconds returns the mean observed solve latency (0 before
+// any solve completed). The backpressure Retry-After estimate uses it.
+func (m *Metrics) MeanSolveSeconds() float64 {
+	n := m.histCount.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(m.histSumNs.Load()) / 1e9 / float64(n)
+}
+
 // CacheHits returns the number of result-cache hits.
 func (m *Metrics) CacheHits() int64 { return m.cacheHits.Load() }
 

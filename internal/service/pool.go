@@ -111,6 +111,44 @@ func (p *Pool) Do(ctx context.Context, fn func() (any, error)) (any, error) {
 	}
 }
 
+// DoWait submits fn like Do but, instead of failing fast when the queue
+// is full, blocks until a queue slot frees or ctx is cancelled. This is
+// the async-jobs submission path: a job accepted into the (separately
+// capped) job store waits for pool capacity rather than bouncing with
+// 429, and a cancelled job abandons its slot wait. Like Do, if ctx
+// expires after the task was enqueued, the task still runs to
+// completion on its worker and only the wait is abandoned.
+//
+// DoWait must not be called concurrently with or after Close: the
+// blocking enqueue cannot hold the pool mutex, so the caller (the jobs
+// engine, which drains before the pool closes) owns that ordering.
+func (p *Pool) DoWait(ctx context.Context, fn func() (any, error)) (any, error) {
+	t := poolTask{fn: fn, res: make(chan poolResult, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if p.metrics != nil {
+		p.metrics.QueueEnter()
+	}
+	p.mu.Unlock()
+	select {
+	case p.queue <- t:
+	case <-ctx.Done():
+		if p.metrics != nil {
+			p.metrics.QueueLeave()
+		}
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-t.res:
+		return r.val, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // runTask runs one solver closure, converting a panic into an error so
 // a buggy solver fails its one request instead of crashing the process
 // (net/http's per-connection recover does not cover pool goroutines).

@@ -131,6 +131,66 @@ func TestPoolRecoversPanickingTask(t *testing.T) {
 	}
 }
 
+func TestDoWaitBlocksInsteadOfShedding(t *testing.T) {
+	p := NewPool(1, 1, nil)
+	defer p.Close()
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go p.Do(context.Background(), func() (any, error) {
+		close(running)
+		<-block
+		return nil, nil
+	})
+	<-running
+	// Fill the 1-slot queue, so a Do would shed with ErrQueueFull...
+	go p.Do(context.Background(), func() (any, error) { return nil, nil })
+	waitFor(t, func() bool { return len(p.queue) == 1 })
+	if _, err := p.Do(context.Background(), func() (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Do on full queue = %v, want ErrQueueFull", err)
+	}
+	// ...while DoWait blocks until a slot frees and then completes.
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.DoWait(context.Background(), func() (any, error) { return nil, nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("DoWait returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatalf("DoWait = %v", err)
+	}
+}
+
+func TestDoWaitCancelledWhileQueued(t *testing.T) {
+	p := NewPool(1, 1, nil)
+	defer p.Close()
+	block := make(chan struct{})
+	defer close(block)
+	running := make(chan struct{})
+	go p.Do(context.Background(), func() (any, error) {
+		close(running)
+		<-block
+		return nil, nil
+	})
+	<-running
+	go p.Do(context.Background(), func() (any, error) { return nil, nil })
+	waitFor(t, func() bool { return len(p.queue) == 1 })
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.DoWait(ctx, func() (any, error) { return nil, nil })
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoWait after cancel = %v, want context.Canceled", err)
+	}
+}
+
 // waitFor polls cond for up to 2 seconds.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()

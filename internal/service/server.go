@@ -1,30 +1,3 @@
-// Package service is the concurrent solver service: a stdlib-only HTTP
-// JSON API over the relpipe solvers. Every solve endpoint shares one
-// execution path — a bounded worker pool sized from GOMAXPROCS with
-// queue backpressure (429 + Retry-After when full), an LRU result cache
-// keyed by the canonical hash of (instance, parameters, method), and
-// in-flight deduplication so identical concurrent requests share one
-// underlying solve. /healthz reports liveness, /metrics exposes the
-// counters, and per-request timeouts bound the wait for a solve.
-//
-// Endpoints (all solve endpoints are POST, JSON in/out):
-//
-//	POST /v1/optimize   relpipe.OptimizeRequest  → relpipe.OptimizeResponse
-//	POST /v1/evaluate   relpipe.EvaluateRequest  → relpipe.EvaluateResponse
-//	POST /v1/minperiod  relpipe.MinPeriodRequest → relpipe.OptimizeResponse
-//	POST /v1/frontier   relpipe.FrontierRequest  → relpipe.FrontierResponse
-//	POST /v1/mincost    relpipe.MinCostRequest   → relpipe.MinCostResponse
-//	POST /v1/simulate   relpipe.SimulateRequest  → relpipe.SimulateResponse
-//	POST /v1/adapt      relpipe.AdaptRequest     → relpipe.AdaptResponse
-//	POST /v1/batch      relpipe.BatchRequest     → relpipe.BatchResponse
-//	GET  /healthz       {"status":"ok"}
-//	GET  /metrics       counter snapshot (JSON)
-//
-// Status codes: 200 success; 400 malformed or invalid input; 404/405
-// unknown route or method; 413 oversized body; 422 no feasible mapping;
-// 429 queue full (with Retry-After); 500 solver panic; 503 shutting
-// down; 504 solve exceeded the request timeout (the solve itself is not preempted —
-// solvers are not interruptible — but the client stops waiting).
 package service
 
 import (
@@ -39,10 +12,13 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"relpipe"
 	"relpipe/internal/cost"
+	"relpipe/internal/jobs"
+	"relpipe/internal/progress"
 	"relpipe/internal/sim"
 )
 
@@ -74,6 +50,14 @@ type Options struct {
 	// get 400.
 	MaxSearchRestarts int
 	MaxSearchBudget   int
+	// MaxJobs bounds the async job store (default 1024 jobs of every
+	// state; terminal jobs are evicted oldest-first when full).
+	// MaxJobsPerClient bounds one client's live jobs (default 16), and
+	// JobTTL is how long terminal jobs stay queryable (default 10m).
+	// See internal/jobs.
+	MaxJobs          int
+	MaxJobsPerClient int
+	JobTTL           time.Duration
 	// SolverParallelism is the per-request parallelism budget handed to
 	// the solvers (relpipe.Options.Parallelism): how many goroutines one
 	// solve may use inside its worker slot. The default,
@@ -120,9 +104,13 @@ type Server struct {
 	cache   *Cache
 	flights *flightGroup
 	metrics *Metrics
+	jobs    *jobs.Engine
 	mux     *http.ServeMux
 	workers int
 	exec    execOpts
+
+	shutdownOnce sync.Once
+	shutdownC    chan struct{} // closed by BeginShutdown; ends SSE streams
 }
 
 // NewServer builds a ready-to-serve solver service.
@@ -130,11 +118,15 @@ func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
 	m := NewMetrics()
 	s := &Server{
-		opts:    opts,
-		cache:   NewCache(opts.CacheSize),
-		flights: newFlightGroup(),
-		metrics: m,
+		opts:      opts,
+		cache:     NewCache(opts.CacheSize),
+		flights:   newFlightGroup(),
+		metrics:   m,
+		shutdownC: make(chan struct{}),
 	}
+	s.jobs = jobs.NewEngine(jobs.Options{
+		MaxJobs: opts.MaxJobs, MaxPerClient: opts.MaxJobsPerClient, TTL: opts.JobTTL,
+	})
 	s.workers = opts.Workers
 	if s.workers < 1 {
 		s.workers = runtime.GOMAXPROCS(0)
@@ -160,6 +152,11 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("POST /v1/simulate", s.solveHandler("simulate", parseSimulate))
 	mux.HandleFunc("POST /v1/adapt", s.solveHandler("adapt", parseAdapt))
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.metrics)
 	s.mux = mux
@@ -174,9 +171,39 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Metrics exposes the server's counters (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close drains the worker pool; in-flight solves finish, new requests
-// get 503.
-func (s *Server) Close() { s.pool.Close() }
+// BeginShutdown signals the start of a graceful shutdown without
+// waiting: SSE event streams terminate (watchers get a final status
+// event), so the HTTP server's own drain isn't held open by long-lived
+// watch connections. Idempotent; Close calls it implicitly.
+func (s *Server) BeginShutdown() {
+	s.shutdownOnce.Do(func() { close(s.shutdownC) })
+}
+
+// Close drains the service for shutdown, in dependency order: event
+// streams end (BeginShutdown), the job engine stops admitting and waits
+// for every in-flight job to reach a terminal state — their statuses
+// stay queryable via Jobs().Snapshot — and only then the worker pool
+// (which the jobs run on) drains and closes. New requests get 503.
+func (s *Server) Close() {
+	s.BeginShutdown()
+	s.jobs.Close()
+	s.pool.Close()
+}
+
+// CloseWithin is Close with a drain budget for the async jobs: jobs
+// still live after d are cancelled (through the same context plumbing
+// DELETE uses) and land as cancelled instead of pinning shutdown — so a
+// supervisor's kill timeout can't outrun the terminal-status dump.
+// d <= 0 behaves like Close.
+func (s *Server) CloseWithin(d time.Duration) {
+	s.BeginShutdown()
+	s.jobs.CloseWithin(d)
+	s.pool.Close()
+}
+
+// Jobs exposes the async job engine (for the shutdown status dump and
+// tests).
+func (s *Server) Jobs() *jobs.Engine { return s.jobs }
 
 // execOpts is the execution budget handed to every solve closure: the
 // solver-level parallelism one request may use inside its worker slot
@@ -257,10 +284,31 @@ func parseSolveMethod(methodStr string, sp *relpipe.SearchParams, ex execOpts) (
 	return method, opts, "|m=" + method.String() + searchKey, nil
 }
 
+// solveCtx is the per-execution environment of one solve closure: the
+// cancellation context (background on the synchronous path, the job's
+// context on the async path) and an optional progress hook (nil
+// synchronously; the job's Control asynchronously). Neither influences
+// the solver's answer, so solve closures built from the same request
+// produce bit-identical bodies on both paths.
+type solveCtx struct {
+	ctx      context.Context
+	progress progress.Func
+}
+
+func (sc solveCtx) context() context.Context {
+	if sc.ctx != nil {
+		return sc.ctx
+	}
+	return context.Background()
+}
+
 // parser turns a decoded request body into a canonical cache key and a
 // solve closure producing the response DTO under the given execution
 // budget.
-type parser func(body []byte, ex execOpts) (key string, solve func() (any, error), err error)
+type parser func(body []byte, ex execOpts) (key string, solve solveFunc, err error)
+
+// solveFunc produces a response DTO under a solveCtx.
+type solveFunc func(sc solveCtx) (any, error)
 
 // outcome is the materialized HTTP answer of one solve, shared verbatim
 // by deduplicated and cached requests.
@@ -280,11 +328,11 @@ func (s *Server) solveHandler(endpoint string, parse parser) http.HandlerFunc {
 		body, status, err := readBody(w, r, s.opts.MaxBodyBytes)
 		if err != nil {
 			s.metrics.Request(endpoint)
-			writeError(w, status, err)
+			s.writeError(w, status, err)
 			return
 		}
 		out := s.process(endpoint, parse, body)
-		writeOutcome(w, out)
+		s.writeOutcome(w, out)
 	}
 }
 
@@ -321,17 +369,7 @@ func (s *Server) process(endpoint string, parse parser, body []byte) outcome {
 		ctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
 		defer cancel()
 		val, err := s.pool.Do(ctx, func() (any, error) {
-			s.metrics.Solve()
-			v, err := solve()
-			if err != nil {
-				return nil, err
-			}
-			b, err := json.Marshal(v)
-			if err != nil {
-				return nil, fmt.Errorf("%w: %v", errEncodeResponse, err)
-			}
-			s.cache.Put(key, b)
-			return b, nil
+			return s.solveToBytes(key, solve, solveCtx{})
 		})
 		if err != nil {
 			return errorOutcome(statusFor(err), err), nil
@@ -348,6 +386,26 @@ func (s *Server) process(endpoint string, parse parser, body []byte) outcome {
 	return out
 }
 
+// solveToBytes executes one solve closure under sc, marshals the
+// response DTO and caches the bytes. It is the single execution path
+// shared by the synchronous endpoints and the async jobs engine, which
+// is what makes an async result bit-identical to the synchronous one
+// for the same request: same closure, same marshaling, same cache
+// entry. A failed (or cancelled) solve caches nothing.
+func (s *Server) solveToBytes(key string, solve solveFunc, sc solveCtx) ([]byte, error) {
+	s.metrics.Solve()
+	v, err := solve(sc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errEncodeResponse, err)
+	}
+	s.cache.Put(key, b)
+	return b, nil
+}
+
 // handleBatch fans the jobs across the worker pool (bounded by the pool
 // itself plus a per-batch fan-out cap) and answers with one result per
 // job in request order. Jobs shed with 429 can be retried individually.
@@ -355,28 +413,41 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request("batch")
 	body, status, err := readBody(w, r, s.opts.MaxBodyBytes)
 	if err != nil {
-		writeError(w, status, err)
+		s.writeError(w, status, err)
 		return
 	}
 	var req relpipe.BatchRequest
 	if err := unmarshalStrict(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Jobs) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("batch: no jobs"))
+		s.writeError(w, http.StatusBadRequest, errors.New("batch: no jobs"))
 		return
 	}
 	if len(req.Jobs) > s.opts.MaxBatchJobs {
-		writeError(w, http.StatusBadRequest,
+		s.writeError(w, http.StatusBadRequest,
 			fmt.Errorf("batch: %d jobs exceeds limit %d", len(req.Jobs), s.opts.MaxBatchJobs))
 		return
 	}
 
-	results := make([]relpipe.BatchJobResult, len(req.Jobs))
+	results := s.runBatchItems(req.Jobs, func(kind string, parse parser, body []byte) outcome {
+		return s.process(kind, parse, body)
+	}, nil)
+	s.writeJSON(w, http.StatusOK, relpipe.BatchResponse{Results: results})
+}
+
+// runBatchItems is the batch fan-out shared by the synchronous endpoint
+// and batch-kind async jobs: items run concurrently under the shared
+// per-batch semaphore, each through the caller-supplied execution path,
+// and results land in request order. progress (when non-nil) receives
+// the completed-item count.
+func (s *Server) runBatchItems(items []relpipe.BatchJob, run func(kind string, parse parser, body []byte) outcome, progress func(done int64)) []relpipe.BatchJobResult {
+	results := make([]relpipe.BatchJobResult, len(items))
+	var done atomic.Int64
 	sem := make(chan struct{}, max(1, s.workers))
 	var wg sync.WaitGroup
-	for i, job := range req.Jobs {
+	for i, job := range items {
 		wg.Add(1)
 		go func(i int, job relpipe.BatchJob) {
 			defer wg.Done()
@@ -387,13 +458,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				out = errorOutcome(http.StatusBadRequest, fmt.Errorf("batch: unknown kind %q", job.Kind))
 			} else {
-				out = s.process(job.Kind, parse, job.Request)
+				out = run(job.Kind, parse, job.Request)
 			}
 			results[i] = relpipe.BatchJobResult{Status: out.status, Body: out.body}
+			if progress != nil {
+				progress(done.Add(1))
+			}
 		}(i, job)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, relpipe.BatchResponse{Results: results})
+	return results
 }
 
 // batchParsers dispatches batch job kinds to the endpoint parsers.
@@ -409,7 +483,16 @@ var batchParsers = map[string]parser{
 
 // ---- endpoint parsers ----
 
-func parseOptimize(body []byte, ex execOpts) (string, func() (any, error), error) {
+// withCtx fills the execution-time fields of a solver Options value
+// from the solveCtx: cancellation and the progress hook. Neither enters
+// a cache key (they never change an answer).
+func withCtx(opts relpipe.Options, sc solveCtx) relpipe.Options {
+	opts.Context = sc.context()
+	opts.Progress = sc.progress
+	return opts
+}
+
+func parseOptimize(body []byte, ex execOpts) (string, solveFunc, error) {
 	var req relpipe.OptimizeRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
@@ -419,8 +502,8 @@ func parseOptimize(body []byte, ex execOpts) (string, func() (any, error), error
 		return "", nil, err
 	}
 	key := req.Instance.Canonical() + methodKey + "|" + floatKey(req.Bounds.Period, req.Bounds.Latency)
-	return key, func() (any, error) {
-		sol, err := relpipe.OptimizeWith(req.Instance, req.Bounds, method, opts)
+	return key, func(sc solveCtx) (any, error) {
+		sol, err := relpipe.OptimizeWith(req.Instance, req.Bounds, method, withCtx(opts, sc))
 		if err != nil {
 			return nil, err
 		}
@@ -428,13 +511,13 @@ func parseOptimize(body []byte, ex execOpts) (string, func() (any, error), error
 	}, nil
 }
 
-func parseEvaluate(body []byte, _ execOpts) (string, func() (any, error), error) {
+func parseEvaluate(body []byte, _ execOpts) (string, solveFunc, error) {
 	var req relpipe.EvaluateRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
 	}
 	key := req.Instance.Canonical() + "|" + mappingKey(req.Mapping)
-	return key, func() (any, error) {
+	return key, func(solveCtx) (any, error) {
 		ev, err := relpipe.Evaluate(req.Instance, req.Mapping)
 		if err != nil {
 			return nil, err
@@ -443,7 +526,7 @@ func parseEvaluate(body []byte, _ execOpts) (string, func() (any, error), error)
 	}, nil
 }
 
-func parseMinPeriod(body []byte, ex execOpts) (string, func() (any, error), error) {
+func parseMinPeriod(body []byte, ex execOpts) (string, solveFunc, error) {
 	var req relpipe.MinPeriodRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
@@ -453,8 +536,8 @@ func parseMinPeriod(body []byte, ex execOpts) (string, func() (any, error), erro
 		return "", nil, err
 	}
 	key := req.Instance.Canonical() + methodKey + "|" + floatKey(req.MinReliability)
-	return key, func() (any, error) {
-		sol, err := relpipe.MinPeriodMethod(req.Instance, req.MinReliability, method, opts)
+	return key, func(sc solveCtx) (any, error) {
+		sol, err := relpipe.MinPeriodMethod(req.Instance, req.MinReliability, method, withCtx(opts, sc))
 		if err != nil {
 			return nil, err
 		}
@@ -462,13 +545,13 @@ func parseMinPeriod(body []byte, ex execOpts) (string, func() (any, error), erro
 	}, nil
 }
 
-func parseFrontier(body []byte, ex execOpts) (string, func() (any, error), error) {
+func parseFrontier(body []byte, ex execOpts) (string, solveFunc, error) {
 	var req relpipe.FrontierRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
 	}
-	return req.Instance.Canonical(), func() (any, error) {
-		pts, err := relpipe.FrontierWith(req.Instance, ex.options())
+	return req.Instance.Canonical(), func(sc solveCtx) (any, error) {
+		pts, err := relpipe.FrontierWith(req.Instance, withCtx(ex.options(), sc))
 		if err != nil {
 			return nil, err
 		}
@@ -476,7 +559,7 @@ func parseFrontier(body []byte, ex execOpts) (string, func() (any, error), error
 	}, nil
 }
 
-func parseMinCost(body []byte, ex execOpts) (string, func() (any, error), error) {
+func parseMinCost(body []byte, ex execOpts) (string, solveFunc, error) {
 	var req relpipe.MinCostRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
@@ -487,8 +570,8 @@ func parseMinCost(body []byte, ex execOpts) (string, func() (any, error), error)
 	}
 	key := req.Instance.Canonical() + methodKey + "|" + floatKey(req.Costs...) +
 		"|" + floatKey(req.MinReliability, req.Bounds.Period, req.Bounds.Latency)
-	return key, func() (any, error) {
-		sol, err := relpipe.MinimizeCostWith(req.Instance, req.Costs, req.MinReliability, req.Bounds, method, opts)
+	return key, func(sc solveCtx) (any, error) {
+		sol, err := relpipe.MinimizeCostWith(req.Instance, req.Costs, req.MinReliability, req.Bounds, method, withCtx(opts, sc))
 		if err != nil {
 			return nil, err
 		}
@@ -496,7 +579,7 @@ func parseMinCost(body []byte, ex execOpts) (string, func() (any, error), error)
 	}, nil
 }
 
-func parseSimulate(body []byte, ex execOpts) (string, func() (any, error), error) {
+func parseSimulate(body []byte, ex execOpts) (string, solveFunc, error) {
 	var req relpipe.SimulateRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
@@ -541,9 +624,9 @@ func parseSimulate(body []byte, ex execOpts) (string, func() (any, error), error
 		Routing:        routing,
 		WarmUp:         req.WarmUp,
 	}
-	return key, func() (any, error) {
+	return key, func(sc solveCtx) (any, error) {
 		if reps > 1 {
-			batch, err := relpipe.SimulateBatch(cfg, reps, ex.options())
+			batch, err := relpipe.SimulateBatch(cfg, reps, withCtx(ex.options(), sc))
 			if err != nil {
 				return nil, err
 			}
@@ -565,7 +648,7 @@ func parseSimulate(body []byte, ex execOpts) (string, func() (any, error), error
 // search knobs are capped like every search-sensitive endpoint's and
 // enter the cache key only when the policy actually searches (remap),
 // mirroring how exact methods omit them.
-func parseAdapt(body []byte, ex execOpts) (string, func() (any, error), error) {
+func parseAdapt(body []byte, ex execOpts) (string, solveFunc, error) {
 	var req relpipe.AdaptRequest
 	if err := unmarshalStrict(body, &req); err != nil {
 		return "", nil, err
@@ -614,12 +697,18 @@ func parseAdapt(body []byte, ex execOpts) (string, func() (any, error), error) {
 		req.Bounds.Period, req.Bounds.Latency) +
 		"|" + floatKey(req.Costs...) +
 		fmt.Sprintf("|sp=%d|s=%d|rep=%d", req.Spares, req.Seed, reps)
-	return key, func() (any, error) {
+	return key, func(sc solveCtx) (any, error) {
+		opts := withCtx(opts, sc)
 		m := relpipe.Mapping{}
 		if req.Mapping != nil {
 			m = *req.Mapping
 		} else {
-			sol, err := relpipe.OptimizeWith(req.Instance, req.Bounds, relpipe.Auto, opts)
+			// The server-side initial optimize is cancellable but reports
+			// no progress: mixing its restart counts with the batch's
+			// replication counts would interleave two different units.
+			noProg := opts
+			noProg.Progress = nil
+			sol, err := relpipe.OptimizeWith(req.Instance, req.Bounds, relpipe.Auto, noProg)
 			if err != nil {
 				return nil, err
 			}
@@ -730,26 +819,42 @@ func errorOutcome(status int, err error) outcome {
 	return outcome{status, b}
 }
 
-func writeOutcome(w http.ResponseWriter, out outcome) {
+// retryAfterSeconds estimates when a 429'd client should come back:
+// roughly one queue's worth of work — pending solves over the worker
+// count, scaled by the mean observed solve latency — clamped to
+// [1s, 60s]. Every 429 the service emits (queue full, job caps) carries
+// this header; a fixed "1" would stampede a loaded pool with retries
+// exactly when it cannot absorb them.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.metrics.MeanSolveSeconds()
+	if mean <= 0 {
+		return 1
+	}
+	backlog := float64(s.metrics.QueueDepth()+1) / float64(s.workers)
+	secs := int(math.Ceil(backlog * mean))
+	return min(max(secs, 1), 60)
+}
+
+func (s *Server) writeOutcome(w http.ResponseWriter, out outcome) {
 	w.Header().Set("Content-Type", "application/json")
 	if out.status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	w.WriteHeader(out.status)
 	w.Write(out.body)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeOutcome(w, errorOutcome(status, err))
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeOutcome(w, errorOutcome(status, err))
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeOutcome(w, outcome{status, b})
+	s.writeOutcome(w, outcome{status, b})
 }
 
 // floatKey renders floats exactly (hex mantissa) for cache keys.

@@ -363,8 +363,8 @@ func TestQueueFullIs429WithRetryAfter(t *testing.T) {
 
 	block := make(chan struct{})
 	started := make(chan struct{})
-	blocking := func(body []byte, _ execOpts) (string, func() (any, error), error) {
-		return string(body), func() (any, error) {
+	blocking := func(body []byte, _ execOpts) (string, solveFunc, error) {
+		return string(body), func(solveCtx) (any, error) {
 			if string(body) == "A" {
 				close(started)
 			}
@@ -383,7 +383,7 @@ func TestQueueFullIs429WithRetryAfter(t *testing.T) {
 		t.Fatalf("status = %d, want 429", out.status)
 	}
 	rec := httptest.NewRecorder()
-	writeOutcome(rec, out)
+	s.writeOutcome(rec, out)
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("429 response missing Retry-After")
 	}
@@ -484,8 +484,8 @@ func TestTimedOutSolveStillCaches(t *testing.T) {
 	s := NewServer(Options{RequestTimeout: 10 * time.Millisecond})
 	defer s.Close()
 	done := make(chan struct{})
-	slow := func(body []byte, _ execOpts) (string, func() (any, error), error) {
-		return "k", func() (any, error) {
+	slow := func(body []byte, _ execOpts) (string, solveFunc, error) {
+		return "k", func(solveCtx) (any, error) {
 			defer close(done)
 			time.Sleep(100 * time.Millisecond)
 			return map[string]int{"x": 1}, nil
@@ -496,8 +496,8 @@ func TestTimedOutSolveStillCaches(t *testing.T) {
 	}
 	<-done // the abandoned solve has finished; its Put follows at once
 	waitFor(t, func() bool { _, ok := s.cache.Get("slow|k"); return ok })
-	fail := func(body []byte, _ execOpts) (string, func() (any, error), error) {
-		return "k", func() (any, error) {
+	fail := func(body []byte, _ execOpts) (string, solveFunc, error) {
+		return "k", func(solveCtx) (any, error) {
 			t.Error("identical request re-solved instead of hitting the cache")
 			return nil, nil
 		}, nil

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"relpipe/internal/par"
+	"relpipe/internal/progress"
 	"relpipe/internal/rng"
 )
 
@@ -49,10 +50,16 @@ func RunBatch(ctx context.Context, cfg Config, replications, parallelism int) (B
 	for r := range seeds {
 		seeds[r] = master.Uint64()
 	}
+	reps := progress.NewCounter(int64(replications), cfg.Progress)
 	runs, err := par.Map(ctx, parallelism, replications, func(r int) (Result, error) {
 		c := cfg
 		c.Seed = seeds[r]
-		return Run(c)
+		c.Progress = nil // per-replication runs report nothing themselves
+		res, err := Run(c)
+		if err == nil {
+			reps.Add(1)
+		}
+		return res, err
 	})
 	if err != nil {
 		return BatchResult{}, err

@@ -1,0 +1,22 @@
+// Package sim simulates the pipelined execution of an interval mapping on
+// the distributed platform, with optional Poisson transient-failure
+// injection. It serves two purposes the paper's analytic evaluation
+// cannot: (a) Monte-Carlo validation of the closed forms — success rates
+// converge to Eq. (9), failure-free timings to Eqs. (5)/(6) — and (b)
+// inspection of transient behaviour (queueing, pipeline fill) that the
+// steady-state formulas abstract away.
+//
+// Execution model (§2.2): computations overlap with communications (each
+// processor has a communication co-processor); a point-to-point link
+// carries one message at a time, so consecutive data sets serialize on
+// links exactly as they do on processors; data sets enter the system
+// every Period time units; each boundary communication is mediated by the
+// routing operation of §4.
+//
+// Two routing modes mirror the paper's accounting (see DESIGN.md):
+//
+//   - OneHop charges each boundary a single o/b hop, matching the latency
+//     and period formulas (Eqs. 5–8).
+//   - TwoHop charges replica→router and router→replica hops and samples
+//     link failures on both, matching the reliability formula (Eq. 9).
+package sim

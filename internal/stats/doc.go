@@ -1,0 +1,9 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: online (Welford) accumulators, quantiles, geometric means and
+// fixed-width histograms. Everything is dependency-free and deterministic.
+//
+// Key entry points: Acc (online accumulator), Summary, Histogram,
+// Quantile, Median, Mean and GeoMean. Accumulation order is the
+// caller's iteration order, so equal inputs in equal order reproduce
+// every figure bit for bit.
+package stats

@@ -1,6 +1,3 @@
-// Package stats provides the summary statistics used by the experiment
-// harness: online (Welford) accumulators, quantiles, geometric means and
-// fixed-width histograms. Everything is dependency-free and deterministic.
 package stats
 
 import (

@@ -1,0 +1,10 @@
+// Package textplot renders multi-series line charts as ASCII text, the
+// offline stand-in for the paper's gnuplot figures. Series are drawn with
+// distinct markers on a shared grid with linear or logarithmic y scaling
+// (the failure-probability figures span 1e-12…1e-3 and need the log
+// scale).
+//
+// Key entry points: Render, Series and Options. Rendering is
+// deterministic: the same series produce the same bytes, so figure
+// goldens can be checked into tests.
+package textplot

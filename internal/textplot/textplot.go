@@ -1,8 +1,3 @@
-// Package textplot renders multi-series line charts as ASCII text, the
-// offline stand-in for the paper's gnuplot figures. Series are drawn with
-// distinct markers on a shared grid with linear or logarithmic y scaling
-// (the failure-probability figures span 1e-12…1e-3 and need the log
-// scale).
 package textplot
 
 import (

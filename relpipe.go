@@ -35,6 +35,7 @@ import (
 	"relpipe/internal/mttf"
 	"relpipe/internal/multichain"
 	"relpipe/internal/platform"
+	"relpipe/internal/progress"
 	"relpipe/internal/rng"
 	"relpipe/internal/sched"
 	"relpipe/internal/search"
@@ -159,12 +160,21 @@ type Options struct {
 	// (0 = none). A truncated run is still valid but no longer
 	// machine-independent.
 	TimeBudget time.Duration
+	// Progress, when non-nil, receives (done, total) completion counts
+	// from the long-running engines: heuristic-search restarts
+	// (OptimizeWith and friends with the Heuristic method), Monte-Carlo
+	// replications (SimulateBatch, AdaptBatch), frontier sweep stages
+	// (FrontierWith). Reports may come from parallel workers; the hook
+	// must be concurrency-safe and never influences a result. This is
+	// the observability hook the async job service streams over SSE.
+	Progress func(done, total int64)
 }
 
 func (o Options) exec() core.Exec {
 	return core.Exec{
 		Ctx: o.Context, Parallelism: o.Parallelism,
 		Restarts: o.Restarts, Budget: o.Budget, Seed: o.Seed, TimeBudget: o.TimeBudget,
+		Progress: progress.Func(o.Progress),
 	}
 }
 
@@ -228,6 +238,9 @@ type SimBatchResult = sim.BatchResult
 // o.Parallelism workers and returns the per-replication results in
 // order. The batch is bit-identical for every parallelism degree.
 func SimulateBatch(cfg SimConfig, replications int, o Options) (SimBatchResult, error) {
+	if cfg.Progress == nil {
+		cfg.Progress = progress.Func(o.Progress)
+	}
 	return sim.RunBatch(o.Context, cfg, replications, o.Parallelism)
 }
 
@@ -260,7 +273,7 @@ func FrontierWith(in Instance, o Options) ([]FrontierPoint, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	return frontier.ComputePar(o.Context, in.Chain, in.Platform, o.Parallelism)
+	return frontier.ComputeParProgress(o.Context, in.Chain, in.Platform, o.Parallelism, progress.Func(o.Progress))
 }
 
 // FrontierAuto routes between the exact frontier sweep and its search

@@ -196,6 +196,11 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// TraceHeader is the response header carrying the request's trace ID on
+// every /v1 endpoint. The same ID appears in an async job's JobStatus
+// (traceId) and keys the recorded trace at "GET /debug/traces?id=".
+const TraceHeader = "X-Trace-Id"
+
 // JobSubmitRequest submits a long-running solve for asynchronous
 // execution ("POST /v1/jobs"): Kind names an endpoint ("optimize",
 // "evaluate", "minperiod", "frontier", "mincost", "simulate", "adapt",

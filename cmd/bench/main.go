@@ -8,8 +8,14 @@
 //
 // Usage:
 //
-//	bench [-quick] [-o BENCH_pr.json] [-minspeedup 0]
-//	bench -check -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.20]
+//	bench [-quick] [-o BENCH_pr.json] [-minspeedup 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	bench -check -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.20] [-allocthreshold 0.20]
+//
+// Every entry also records allocs/op and B/op (ReadMemStats deltas, the
+// -benchmem counterpart); -check gates allocs/op at -allocthreshold.
+// -cpuprofile/-memprofile write pprof profiles of the measurement run —
+// CI uploads them as artifacts so a regression comes with its profile
+// attached.
 //
 // -minspeedup X fails the run when the exact-enumeration or Monte-Carlo
 // P=8/P=1 speedup falls below X on a machine with ≥ 4 cores (skipped,
@@ -35,6 +41,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strconv"
 	"strings"
@@ -56,12 +63,17 @@ import (
 // tagHotPath marks the benchmarks the CI regression gate enforces.
 const tagHotPath = "hotpath"
 
-// Entry is one measured benchmark in the JSON file.
+// Entry is one measured benchmark in the JSON file. AllocsPerOp and
+// BytesPerOp are the -benchmem counterpart: heap allocations and bytes
+// per op (absent in files written before the alloc gate existed, which
+// the checker treats as "no alloc baseline — skip").
 type Entry struct {
-	Name       string   `json:"name"`
-	Tags       []string `json:"tags,omitempty"`
-	NsPerOp    float64  `json:"nsPerOp"`
-	Iterations int      `json:"iterations"`
+	Name        string   `json:"name"`
+	Tags        []string `json:"tags,omitempty"`
+	NsPerOp     float64  `json:"nsPerOp"`
+	Iterations  int      `json:"iterations"`
+	AllocsPerOp float64  `json:"allocsPerOp,omitempty"`
+	BytesPerOp  float64  `json:"bytesPerOp,omitempty"`
 }
 
 // File is the on-disk result document (BENCH_*.json).
@@ -301,6 +313,24 @@ func measure(op func(), sz sizes) (nsPerOp float64, iters int) {
 	return best, iters
 }
 
+// measureAllocs counts heap allocations per op, the way testing's
+// -benchmem does but via ReadMemStats deltas: a few ops between two
+// reads, averaged. Mallocs is a process-global counter, so the numbers
+// include allocations made by the op's worker goroutines — exactly what
+// the gate wants to catch.
+func measureAllocs(op func()) (allocsPerOp, bytesPerOp float64) {
+	const ops = 3
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < ops; i++ {
+		op()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / ops,
+		float64(after.TotalAlloc-before.TotalAlloc) / ops
+}
+
 func runBenchmarks(quick bool) File {
 	sz := fullSizes()
 	if quick {
@@ -318,9 +348,14 @@ func runBenchmarks(quick bool) File {
 	for _, b := range benchmarks {
 		op := b.setup(sz)
 		ns, iters := measure(op, sz)
-		f.Benchmarks = append(f.Benchmarks, Entry{Name: b.name, Tags: b.tags, NsPerOp: ns, Iterations: iters})
+		allocs, bytes := measureAllocs(op)
+		f.Benchmarks = append(f.Benchmarks, Entry{
+			Name: b.name, Tags: b.tags, NsPerOp: ns, Iterations: iters,
+			AllocsPerOp: allocs, BytesPerOp: bytes,
+		})
 		byName[b.name] = ns
-		fmt.Printf("%-24s %14.0f ns/op  (%d iters)\n", b.name, ns, iters)
+		fmt.Printf("%-24s %14.0f ns/op  %12.0f B/op  %10.0f allocs/op  (%d iters)\n",
+			b.name, ns, bytes, allocs, iters)
 	}
 	for _, base := range []string{"exact-profiles", "monte-carlo", "frontier", "search-optimize", "adapt-remap"} {
 		p1, ok1 := byName[base+"/P=1"]
@@ -397,8 +432,12 @@ func isParallel(name string) bool {
 // hard gate across classes would fail innocent PRs. Regenerate the
 // baseline on the CI runner class to arm the hard gate; the parallel
 // kernels are meanwhile gated directly by -minspeedup on the runner.
-// Returns the number of enforced failures.
-func check(baseline, current File, threshold float64, out *os.File) int {
+// allocsPerOp is additionally gated at allocThreshold (relative, like
+// threshold) when both runs carry alloc data; baselines written before
+// the alloc gate existed carry none and are skipped. Alloc findings
+// follow the same advisory downgrade as ns/op findings across machine
+// classes. Returns the number of enforced failures.
+func check(baseline, current File, threshold, allocThreshold float64, out *os.File) int {
 	calB, calC := calibrationPair(baseline, current, out)
 	fmt.Fprintf(out, "baseline: %s/%s GOMAXPROCS=%d %s\n",
 		baseline.GoOS, baseline.GoArch, baseline.GoMaxProcs, baseline.GoVersion)
@@ -442,6 +481,16 @@ func check(baseline, current File, threshold float64, out *os.File) int {
 		}
 		fmt.Fprintf(out, "%-10s %-24s %12.0f -> %12.0f ns/op  normalized %.2fx\n",
 			status, base.Name, base.NsPerOp, e.NsPerOp, ratio)
+		if base.AllocsPerOp > 0 && e.AllocsPerOp > 0 {
+			aratio := e.AllocsPerOp / base.AllocsPerOp
+			astatus := "ok"
+			if aratio > 1+allocThreshold {
+				astatus = "ALLOC-REG"
+				failures++
+			}
+			fmt.Fprintf(out, "%-10s %-24s %12.0f -> %12.0f allocs/op  %.2fx\n",
+				astatus, base.Name, base.AllocsPerOp, e.AllocsPerOp, aratio)
+		}
 	}
 	if coresDiffer && failures > 0 {
 		fmt.Fprintf(out, "ADVISORY: %d regression finding(s) not enforced across machine classes\n", failures)
@@ -489,6 +538,9 @@ func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON for -check")
 	curPath := flag.String("current", "BENCH_pr.json", "current JSON for -check")
 	threshold := flag.Float64("threshold", 0.20, "allowed relative ns/op regression for -check")
+	allocThreshold := flag.Float64("allocthreshold", 0.20, "allowed relative allocs/op regression for -check")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the benchmark run to this file")
 	flag.Parse()
 
 	if *doCheck {
@@ -502,14 +554,48 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		if n := check(baseline, current, *threshold, os.Stdout); n > 0 {
-			fmt.Fprintf(os.Stderr, "bench: %d hot-path regression(s) beyond %.0f%%\n", n, *threshold*100)
+		if n := check(baseline, current, *threshold, *allocThreshold, os.Stdout); n > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d hot-path regression(s) beyond the thresholds\n", n)
 			os.Exit(1)
 		}
 		return
 	}
 
+	// Profiles are stopped/written explicitly (not deferred) because the
+	// failure paths below leave through os.Exit, which skips defers.
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		var err error
+		if cpuFile, err = os.Create(*cpuProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+
 	f := runBenchmarks(*quick)
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		fmt.Printf("wrote %s\n", *cpuProfile)
+	}
+	if *memProfile != "" {
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		mf.Close()
+		fmt.Printf("wrote %s\n", *memProfile)
+	}
 	failures := checkSpeedups(f, *minSpeedup, os.Stdout)
 	if *out != "" {
 		b, err := json.MarshalIndent(f, "", "  ")

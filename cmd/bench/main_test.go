@@ -19,7 +19,7 @@ func benchFile(cal, exact float64) File {
 func TestCheckPassesWithinThreshold(t *testing.T) {
 	base := benchFile(100, 1000)
 	cur := benchFile(100, 1100) // 10% slower, threshold 20%
-	if n := check(base, cur, 0.20, os.Stdout); n != 0 {
+	if n := check(base, cur, 0.20, 0.20, os.Stdout); n != 0 {
 		t.Fatalf("regressions = %d, want 0", n)
 	}
 }
@@ -27,7 +27,7 @@ func TestCheckPassesWithinThreshold(t *testing.T) {
 func TestCheckFlagsRegression(t *testing.T) {
 	base := benchFile(100, 1000)
 	cur := benchFile(100, 1500) // 50% slower
-	if n := check(base, cur, 0.20, os.Stdout); n != 1 {
+	if n := check(base, cur, 0.20, 0.20, os.Stdout); n != 1 {
 		t.Fatalf("regressions = %d, want 1", n)
 	}
 }
@@ -37,7 +37,7 @@ func TestCheckFlagsRegression(t *testing.T) {
 func TestCheckNormalizesByCalibration(t *testing.T) {
 	base := benchFile(100, 1000)
 	cur := benchFile(300, 3000)
-	if n := check(base, cur, 0.20, os.Stdout); n != 0 {
+	if n := check(base, cur, 0.20, 0.20, os.Stdout); n != 0 {
 		t.Fatalf("regressions = %d, want 0 after normalization", n)
 	}
 }
@@ -59,17 +59,17 @@ func TestCheckSkipsParallelAcrossCoreCounts(t *testing.T) {
 		}
 	}
 	// Same core count: a P=8 regression is caught and enforced.
-	if n := check(mk(4, 1000, 300), mk(4, 1000, 600), 0.20, os.Stdout); n != 1 {
+	if n := check(mk(4, 1000, 300), mk(4, 1000, 600), 0.20, 0.20, os.Stdout); n != 1 {
 		t.Fatalf("same cores: failures = %d, want 1", n)
 	}
 	// Different core counts: the P=8 entry is skipped (a 4-core run is
 	// "faster" than a 1-core baseline for free), and sequential findings
 	// are advisory — reported but not enforced, because the calibration
 	// transfer is only trusted within a machine class.
-	if n := check(mk(1, 1000, 950), mk(4, 1000, 300), 0.20, os.Stdout); n != 0 {
+	if n := check(mk(1, 1000, 950), mk(4, 1000, 300), 0.20, 0.20, os.Stdout); n != 0 {
 		t.Fatalf("different cores, clean: failures = %d, want 0", n)
 	}
-	if n := check(mk(1, 1000, 950), mk(4, 1600, 300), 0.20, os.Stdout); n != 0 {
+	if n := check(mk(1, 1000, 950), mk(4, 1600, 300), 0.20, 0.20, os.Stdout); n != 0 {
 		t.Fatalf("different cores, advisory P=1 regression: failures = %d, want 0", n)
 	}
 }
@@ -95,11 +95,11 @@ func TestIsParallel(t *testing.T) {
 func TestCheckFailsOnMissingBenchmarks(t *testing.T) {
 	base := benchFile(100, 1000)
 	cur := File{Quick: true, GoMaxProcs: 1, Benchmarks: []Entry{{Name: "calibrate", NsPerOp: 100}}}
-	if n := check(base, cur, 0.20, os.Stdout); n != 1 {
+	if n := check(base, cur, 0.20, 0.20, os.Stdout); n != 1 {
 		t.Fatalf("failures = %d, want 1 (missing benchmark)", n)
 	}
 	cur.GoMaxProcs = 8 // different machine class: still enforced
-	if n := check(base, cur, 0.20, os.Stdout); n != 1 {
+	if n := check(base, cur, 0.20, 0.20, os.Stdout); n != 1 {
 		t.Fatalf("cross-class failures = %d, want 1 (missing benchmark)", n)
 	}
 }
@@ -114,7 +114,7 @@ func TestCheckCalibrationPairing(t *testing.T) {
 	}}
 	// Raw 1050 vs 1000 is within 20%; with the old one-sided fallback
 	// the ratio would have been (1050/1)/(1000/100) = 105x.
-	if n := check(base, cur, 0.20, os.Stdout); n != 0 {
+	if n := check(base, cur, 0.20, 0.20, os.Stdout); n != 0 {
 		t.Fatalf("failures = %d, want 0 (one-sided calibrate must not skew)", n)
 	}
 }
@@ -144,6 +144,60 @@ func TestCheckSpeedups(t *testing.T) {
 	// A gated kernel missing from the run counts as a failure.
 	if n := checkSpeedups(File{GoMaxProcs: 8, Speedups: map[string]float64{}}, 2.0, os.Stdout); n != 2 {
 		t.Fatalf("missing: %d failures, want 2", n)
+	}
+}
+
+// allocFile builds a single-kernel run with alloc data attached.
+func allocFile(ns, allocs float64) File {
+	return File{
+		Quick:      true,
+		GoMaxProcs: 1,
+		Benchmarks: []Entry{
+			{Name: "calibrate", NsPerOp: 100, Iterations: 1},
+			{Name: "exact-profiles/P=1", Tags: []string{tagHotPath},
+				NsPerOp: ns, Iterations: 1, AllocsPerOp: allocs, BytesPerOp: allocs * 64},
+		},
+	}
+}
+
+// TestCheckAllocGate: allocs/op regressions beyond the alloc threshold
+// fail even when ns/op is steady, small drifts pass, and a baseline
+// without alloc data (written before the gate existed) is skipped
+// rather than failed.
+func TestCheckAllocGate(t *testing.T) {
+	base := allocFile(1000, 1000)
+	if n := check(base, allocFile(1000, 1100), 0.20, 0.20, os.Stdout); n != 0 {
+		t.Fatalf("10%% alloc drift: failures = %d, want 0", n)
+	}
+	if n := check(base, allocFile(1000, 1500), 0.20, 0.20, os.Stdout); n != 1 {
+		t.Fatalf("50%% alloc regression: failures = %d, want 1", n)
+	}
+	// ns/op and allocs/op can fail independently and both count.
+	if n := check(base, allocFile(2000, 1500), 0.20, 0.20, os.Stdout); n != 2 {
+		t.Fatalf("double regression: failures = %d, want 2", n)
+	}
+	// Baseline without alloc data: the alloc gate is skipped.
+	noAllocs := benchFile(100, 1000)
+	if n := check(noAllocs, allocFile(1000, 99999), 0.20, 0.20, os.Stdout); n != 0 {
+		t.Fatalf("no alloc baseline: failures = %d, want 0 (gate skipped)", n)
+	}
+}
+
+// TestMeasureAllocs checks the ReadMemStats delta counter on a known
+// allocation pattern.
+func TestMeasureAllocs(t *testing.T) {
+	var keep [][]byte
+	allocs, bytes := measureAllocs(func() {
+		for i := 0; i < 100; i++ {
+			keep = append(keep, make([]byte, 1024))
+		}
+		keep = nil
+	})
+	if allocs < 100 {
+		t.Fatalf("allocsPerOp = %g, want >= 100", allocs)
+	}
+	if bytes < 100*1024 {
+		t.Fatalf("bytesPerOp = %g, want >= %d", bytes, 100*1024)
 	}
 }
 

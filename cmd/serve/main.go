@@ -9,6 +9,16 @@
 //	serve [-addr :8080] [-workers 0] [-queue 0] [-cache 1024] [-timeout 30s] [-grace 10s]
 //	      [-solver-parallel 0] [-search-restarts 32] [-search-budget 200000]
 //	      [-jobs 1024] [-jobs-per-client 16] [-jobs-ttl 10m] [-jobs-dump path]
+//	      [-traces 256] [-log-format text|json] [-pprof]
+//
+// Observability: every /v1 response carries an X-Trace-Id header and the
+// recorder keeps the -traces most recent request traces queryable at
+// GET /debug/traces. Metrics are served in Prometheus text format at
+// GET /metrics (JSON mirror at /metrics.json). Each request is logged as
+// one structured line — text (default) or JSON via -log-format — carrying
+// the trace ID. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ (off by default; the profiling surface is private until
+// an operator opts in).
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, SSE job watchers receive a final shutdown event, in-flight
@@ -25,7 +35,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -55,7 +67,16 @@ func main() {
 	jobsPerClient := fs.Int("jobs-per-client", 0, "live async jobs per client (0 = default 16)")
 	jobsTTL := fs.Duration("jobs-ttl", 0, "terminal async jobs stay queryable this long (0 = default 10m)")
 	jobsDump := fs.String("jobs-dump", "", "write terminal job statuses to this file on shutdown")
+	traces := fs.Int("traces", 0,
+		"in-memory trace recorder capacity for /debug/traces (0 = default 256, negative disables)")
+	logFormat := fs.String("log-format", "text", "request log format: text or json")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	fs.Parse(os.Args[1:])
+
+	reqLogger, err := newRequestLogger(os.Stderr, *logFormat)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -75,8 +96,25 @@ func main() {
 		MaxJobs:           *maxJobs,
 		MaxJobsPerClient:  *jobsPerClient,
 		JobTTL:            *jobsTTL,
+		TraceCapacity:     *traces,
+		EnablePprof:       *pprofOn,
+		Logger:            reqLogger,
 	}, *grace, *jobsDump, log.Default()); err != nil {
 		log.Fatalf("serve: %v", err)
+	}
+}
+
+// newRequestLogger builds the structured per-request logger handed to the
+// service (slog, one line per HTTP request with the trace ID). format is
+// "text" or "json".
+func newRequestLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
 }
 

@@ -169,6 +169,39 @@ func TestShutdownDrainsJobsAndPersistsStatus(t *testing.T) {
 	}
 }
 
+// TestNewRequestLogger covers the -log-format values: both formats emit
+// the record attributes, and an unknown format is rejected up front
+// rather than silently defaulting.
+func TestNewRequestLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := newRequestLogger(&buf, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("request", "traceId", "abc123")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line unparsable: %v: %s", err, buf.Bytes())
+	}
+	if rec["traceId"] != "abc123" {
+		t.Fatalf("json log line missing traceId: %s", buf.Bytes())
+	}
+
+	buf.Reset()
+	lg, err = newRequestLogger(&buf, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("request", "traceId", "abc123")
+	if !bytes.Contains(buf.Bytes(), []byte("traceId=abc123")) {
+		t.Fatalf("text log line missing traceId: %s", buf.Bytes())
+	}
+
+	if _, err := newRequestLogger(&buf, "xml"); err == nil {
+		t.Fatal("unknown -log-format accepted")
+	}
+}
+
 // waitHealthy polls /healthz until the service answers.
 func waitHealthy(t *testing.T, url string) {
 	t.Helper()

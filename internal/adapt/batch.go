@@ -5,8 +5,11 @@ import (
 	"errors"
 	"math"
 
+	"time"
+
 	"relpipe/internal/chain"
 	"relpipe/internal/mapping"
+	"relpipe/internal/obs"
 	"relpipe/internal/par"
 	"relpipe/internal/platform"
 	"relpipe/internal/progress"
@@ -39,6 +42,7 @@ func RunBatch(ctx context.Context, c chain.Chain, pl platform.Platform, m0 mappi
 		seeds[r] = master.Uint64()
 	}
 	reps := progress.NewCounter(int64(replications), opts.Progress)
+	batchStart := time.Now()
 	runs, err := par.Map(ctx, parallelism, replications, func(r int) (RunResult, error) {
 		o := opts
 		o.Seed = seeds[r]
@@ -52,6 +56,7 @@ func RunBatch(ctx context.Context, c chain.Chain, pl platform.Platform, m0 mappi
 	if err != nil {
 		return BatchResult{}, err
 	}
+	obs.Stage(ctx, "adapt.batch", batchStart, int64(replications), nil)
 	return BatchResult{Runs: runs, Seeds: seeds}, nil
 }
 

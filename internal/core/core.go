@@ -16,6 +16,7 @@ import (
 	"relpipe/internal/heur"
 	"relpipe/internal/ilp"
 	"relpipe/internal/mapping"
+	"relpipe/internal/obs"
 	"relpipe/internal/platform"
 	"relpipe/internal/progress"
 	"relpipe/internal/rbd"
@@ -178,6 +179,14 @@ func OptimizeExec(in Instance, b Bounds, m Method, ex Exec) (Solution, error) {
 			m = Heuristic
 		}
 	}
+	// Stage-time the resolved method (observation only — the solver's
+	// answer never depends on whether anyone is watching).
+	defer obs.Stage(ex.ctx(), "solve."+m.String(), time.Now(), 0, nil)
+	return optimizeResolved(in, b, m, ex)
+}
+
+// optimizeResolved dispatches an already-resolved (non-Auto) method.
+func optimizeResolved(in Instance, b Bounds, m Method, ex Exec) (Solution, error) {
 	wrap := func(mp mapping.Mapping, ev mapping.Eval, err error) (Solution, error) {
 		if err != nil {
 			if errors.Is(err, exact.ErrInfeasible) || errors.Is(err, dp.ErrInfeasible) ||
@@ -317,6 +326,7 @@ func MinPeriodMethodExec(in Instance, minLogRel float64, m Method, ex Exec) (Sol
 			m = Heuristic
 		}
 	}
+	defer obs.Stage(ex.ctx(), "minperiod."+m.String(), time.Now(), 0, nil)
 	switch m {
 	case DP:
 		mp, ev, err := dp.MinPeriodForReliabilityPar(ex.ctx(), in.Chain, in.Platform, minLogRel, ex.Parallelism)
@@ -360,6 +370,7 @@ func MinimizeCostExec(in Instance, costs []float64, minLogRel float64, b Bounds,
 			m = Heuristic
 		}
 	}
+	defer obs.Stage(ex.ctx(), "mincost."+m.String(), time.Now(), 0, nil)
 	switch m {
 	case Exact:
 		if len(in.Chain) > MaxExactTasks {

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"time"
 
 	"relpipe/internal/chain"
 	"relpipe/internal/failure"
 	"relpipe/internal/interval"
 	"relpipe/internal/mapping"
+	"relpipe/internal/obs"
 	"relpipe/internal/par"
 	"relpipe/internal/platform"
 )
@@ -79,6 +81,7 @@ func OptimizeReliabilityPeriodPar(ctx context.Context, c chain.Chain, pl platfor
 			pairs = append(pairs, [2]int{j, i})
 		}
 	}
+	tableStart := time.Now()
 	table, err := par.Map(ctx, parallelism, len(pairs), func(idx int) ([]float64, error) {
 		j, i := pairs[idx][0], pairs[idx][1]
 		w := pre.Work(j, i-1)
@@ -102,6 +105,7 @@ func OptimizeReliabilityPeriodPar(ctx context.Context, c chain.Chain, pl platfor
 	if err != nil {
 		return mapping.Mapping{}, mapping.Eval{}, err
 	}
+	obs.Stage(ctx, "dp.table", tableStart, int64(len(pairs)), nil)
 	stageLogRel := func(j, i, q int) float64 {
 		return table[i*(i-1)/2+j][q-1]
 	}
@@ -121,6 +125,7 @@ func OptimizeReliabilityPeriodPar(ctx context.Context, c chain.Chain, pl platfor
 		}
 	}
 	F[0][0] = 0
+	recStart := time.Now()
 	for i := 1; i <= n; i++ {
 		for j := 0; j < i; j++ {
 			for q := 1; q <= k; q++ {
@@ -142,6 +147,8 @@ func OptimizeReliabilityPeriodPar(ctx context.Context, c chain.Chain, pl platfor
 			}
 		}
 	}
+
+	obs.Stage(ctx, "dp.recurrence", recStart, int64(n), nil)
 
 	bestK, bestLog := -1, math.Inf(-1)
 	for kk := 1; kk <= p; kk++ {

@@ -71,10 +71,12 @@ func (o Options) withDefaults() Options {
 type Engine struct {
 	opts Options
 
-	mu     sync.Mutex
-	closed bool
-	jobs   map[string]*Job
-	live   map[string]int // per-client live job counts
+	mu        sync.Mutex
+	closed    bool
+	jobs      map[string]*Job
+	live      map[string]int // per-client live job counts
+	submitted uint64         // jobs ever admitted
+	evicted   uint64         // jobs ever removed from the store (capacity or TTL)
 
 	wg       sync.WaitGroup // one unit per running Runner
 	janitorC chan struct{}  // closed to stop the janitor
@@ -116,6 +118,7 @@ func (e *Engine) collect(now time.Time) {
 		st := j.Status()
 		if st.State.Terminal() && now.Sub(st.FinishedAt) > e.opts.TTL {
 			delete(e.jobs, id)
+			e.evicted++
 		}
 	}
 }
@@ -157,14 +160,15 @@ func (e *Engine) admitLocked(client string) error {
 		return fmt.Errorf("%w (%d)", ErrStoreFull, e.opts.MaxJobs)
 	}
 	delete(e.jobs, victim)
+	e.evicted++
 	return nil
 }
 
 // newJobLocked registers a job shell. Caller holds mu and has passed
 // admitLocked.
-func (e *Engine) newJobLocked(kind, client string, cancel context.CancelFunc) *Job {
+func (e *Engine) newJobLocked(kind, client, traceID string, cancel context.CancelFunc) *Job {
 	j := &Job{
-		id: newID(), kind: kind, client: client,
+		id: newID(), kind: kind, client: client, traceID: traceID,
 		created: e.opts.now(), now: e.opts.now,
 		cancel: cancel,
 		state:  StateQueued,
@@ -172,6 +176,7 @@ func (e *Engine) newJobLocked(kind, client string, cancel context.CancelFunc) *J
 		done:   make(chan struct{}),
 	}
 	e.jobs[j.id] = j
+	e.submitted++
 	return j
 }
 
@@ -179,6 +184,14 @@ func (e *Engine) newJobLocked(kind, client string, cancel context.CancelFunc) *J
 // engine-wide base context for the job (usually context.Background());
 // the job's own cancellation is layered on top of it.
 func (e *Engine) Submit(ctx context.Context, kind, client string, run Runner) (*Job, error) {
+	return e.SubmitTraced(ctx, kind, client, "", run)
+}
+
+// SubmitTraced is Submit with a caller-allocated trace ID carried in
+// the job's status, so clients can correlate an async job with the
+// trace its runner records (the service allocates the ID at submit time
+// and starts the trace when the runner executes).
+func (e *Engine) SubmitTraced(ctx context.Context, kind, client, traceID string, run Runner) (*Job, error) {
 	jobCtx, cancel := context.WithCancel(ctx)
 	e.mu.Lock()
 	if err := e.admitLocked(client); err != nil {
@@ -186,7 +199,7 @@ func (e *Engine) Submit(ctx context.Context, kind, client string, run Runner) (*
 		cancel()
 		return nil, err
 	}
-	j := e.newJobLocked(kind, client, cancel)
+	j := e.newJobLocked(kind, client, traceID, cancel)
 	e.live[client]++
 	e.wg.Add(1)
 	e.mu.Unlock()
@@ -214,12 +227,45 @@ func (e *Engine) SubmitCompleted(kind, client string, out Outcome) (*Job, error)
 	if err := e.admitLocked(client); err != nil {
 		return nil, err
 	}
-	j := e.newJobLocked(kind, client, func() {})
+	j := e.newJobLocked(kind, client, "", func() {})
 	j.cached = true
 	j.started = j.created
 	j.progress = Progress{Done: 1, Total: 1}
 	j.complete(out)
 	return j, nil
+}
+
+// Stats is the engine's lifecycle snapshot for monitoring: stored jobs
+// by state, open Subscribe channels across every job, and the
+// monotonic admitted/evicted totals.
+type Stats struct {
+	Queued, Running, Terminal int
+	Subscribers               int
+	Submitted, Evicted        uint64
+}
+
+// Stats counts the stored jobs by lifecycle state.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	js := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		js = append(js, j)
+	}
+	s := Stats{Submitted: e.submitted, Evicted: e.evicted}
+	e.mu.Unlock()
+	for _, j := range js {
+		subs, state := j.subscriberCount()
+		s.Subscribers += subs
+		switch state {
+		case StateQueued:
+			s.Queued++
+		case StateRunning:
+			s.Running++
+		default:
+			s.Terminal++
+		}
+	}
+	return s
 }
 
 // runSafely contains a panicking Runner so one buggy solve cannot take

@@ -77,7 +77,11 @@ type Status struct {
 	Result json.RawMessage `json:"result,omitempty"`
 	// Cached reports that the result came from the service result cache
 	// without a new solve (the job completed instantly).
-	Cached     bool      `json:"cached,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// TraceID correlates the job with the trace its runner records
+	// (queryable at /debug/traces); empty for instantly-completed
+	// cache hits, which never execute.
+	TraceID    string    `json:"traceId,omitempty"`
 	CreatedAt  time.Time `json:"createdAt"`
 	StartedAt  time.Time `json:"startedAt,omitzero"`
 	FinishedAt time.Time `json:"finishedAt,omitzero"`
@@ -87,9 +91,10 @@ type Status struct {
 // through methods; the zero value is not usable (Engine.Submit builds
 // jobs).
 type Job struct {
-	id     string
-	kind   string
-	client string
+	id      string
+	kind    string
+	client  string
+	traceID string
 
 	created time.Time
 	cancel  context.CancelFunc
@@ -120,7 +125,7 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID: j.id, Kind: j.kind, Client: j.client,
 		State: j.state, Progress: j.progress,
-		Cached:    j.cached,
+		Cached: j.cached, TraceID: j.traceID,
 		CreatedAt: j.created, StartedAt: j.started, FinishedAt: j.finished,
 	}
 	if j.state.Terminal() {
@@ -164,6 +169,14 @@ func (j *Job) Subscribe() chan struct{} {
 	j.subs[ch] = struct{}{}
 	j.mu.Unlock()
 	return ch
+}
+
+// subscriberCount reports the open subscriptions and current state in
+// one consistent read (the engine's Stats aggregation).
+func (j *Job) subscriberCount() (int, State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.subs), j.state
 }
 
 // Unsubscribe detaches a Subscribe channel.

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden locks down the exposition format: HELP/TYPE
+// headers, family sort order, label rendering, histogram bucket/sum/
+// count series with the +Inf bucket.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("app_z_total", "Last family by name.").Add(3)
+	g := r.NewGauge("app_depth", "Current depth.")
+	g.Set(4)
+	g.Dec()
+	v := r.NewCounterVec("app_requests_total", "Requests by endpoint and code.", "endpoint", "code")
+	v.With("/v1/optimize", "200").Add(2)
+	v.With("/v1/optimize", "400").Inc()
+	h := r.NewHistogram("app_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(99)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `# HELP app_depth Current depth.
+# TYPE app_depth gauge
+app_depth 3
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 3
+app_latency_seconds_bucket{le="+Inf"} 4
+app_latency_seconds_sum 100.05
+app_latency_seconds_count 4
+# HELP app_requests_total Requests by endpoint and code.
+# TYPE app_requests_total counter
+app_requests_total{endpoint="/v1/optimize",code="200"} 2
+app_requests_total{endpoint="/v1/optimize",code="400"} 1
+# HELP app_z_total Last family by name.
+# TYPE app_z_total counter
+app_z_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("esc_total", "", "path").With("a\\b\"c\nd").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `esc_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped label line missing\ngot:\n%s\nwant line: %s", b.String(), want)
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("h_total", "line one\nline \\ two")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `# HELP h_total line one\nline \\ two`) {
+		t.Errorf("help not escaped:\n%s", b.String())
+	}
+}
+
+// TestHistogramCumulativeMonotone checks the le invariant: cumulative
+// bucket counts never decrease and the last bound never exceeds Count.
+func TestHistogramCumulativeMonotone(t *testing.T) {
+	h := NewRegistry().NewHistogram("m_seconds", "", nil)
+	vals := []float64{0, 0.0005, 0.001, 0.0011, 0.3, 2, 11, 1e9}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(vals)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(vals))
+	}
+	prev := uint64(0)
+	for i, c := range s.Buckets {
+		if c < prev {
+			t.Errorf("bucket %d: cumulative count %d < previous %d", i, c, prev)
+		}
+		prev = c
+	}
+	if prev > s.Count {
+		t.Errorf("last bucket %d exceeds count %d", prev, s.Count)
+	}
+	// le is less-or-equal: an observation exactly on a bound lands in
+	// that bucket. DefBuckets[0] = 0.001 and three observations are <= it.
+	if s.Buckets[0] != 3 {
+		t.Errorf("bucket le=0.001 = %d, want 3 (0, 0.0005 and 0.001)", s.Buckets[0])
+	}
+}
+
+// TestHistogramSnapshotConsistent is the regression test for the old
+// service.Metrics race: under concurrent observes, a snapshot's bucket
+// totals must always agree with its count. Run with -race.
+func TestHistogramSnapshotConsistent(t *testing.T) {
+	h := NewRegistry().NewHistogram("race_seconds", "", []float64{0.5})
+	const (
+		writers = 4
+		perW    = 2000
+	)
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			// Every observation is 0.25 (exact in binary floating
+			// point) and lands in the le=0.5 bucket, so in a consistent
+			// snapshot the bucket count and the sum both track Count
+			// exactly; any disagreement means the snapshot was torn.
+			if s.Buckets[0] != s.Count {
+				t.Errorf("snapshot torn: bucket %d != count %d", s.Buckets[0], s.Count)
+				return
+			}
+			if want := float64(s.Count) * 0.25; s.Sum != want {
+				t.Errorf("snapshot torn: sum %v, want %v for count %d", s.Sum, want, s.Count)
+				return
+			}
+		}
+	}()
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perW)
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	c := NewRegistry().NewCounter("neg_total", "")
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %v, want 5 (negative add dropped)", got)
+	}
+}
+
+func TestGaugeFuncAndCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 7.0
+	r.NewGaugeFunc("fn_depth", "", nil, nil, func() float64 { return n })
+	r.NewCounterFunc("fn_total", "", []string{"k"}, []string{"v"}, func() float64 { return 42 })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, "fn_depth 7") {
+		t.Errorf("gauge func missing: %s", out)
+	}
+	if !strings.Contains(out, `fn_total{k="v"} 42`) {
+		t.Errorf("counter func missing: %s", out)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("ok_total", "")
+	for name, fn := range map[string]func(){
+		"bad name":       func() { r.NewCounter("0bad", "") },
+		"bad label":      func() { r.NewCounterVec("x_total", "", "0bad") },
+		"kind mismatch":  func() { r.NewGauge("ok_total", "") },
+		"label mismatch": func() { r.NewCounterVec("ok_total", "", "l") },
+		"bad buckets":    func() { r.NewHistogram("h_seconds", "", []float64{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for in, want := range map[float64]string{
+		0.25: "0.25", 1e21: "1e+21",
+	} {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers, families sorted by name, children
+// sorted by label values, label values escaped, histogram buckets
+// cumulative under the le convention with the +Inf bucket, _sum and
+// _count series. The output is deterministic for a fixed registry
+// state, which is what the golden test asserts.
+
+// ContentType is the Content-Type of the exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family to w.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]*family, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		writeFamily(w, f)
+	}
+}
+
+// Handler serves the exposition over HTTP (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+func writeFamily(w io.Writer, f *family) {
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, c := range f.snapshotChildren() {
+		switch f.kind {
+		case kindHistogram:
+			writeHistogramChild(w, f, c)
+		default:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labelNames, c.labelValues, "", ""), formatValue(c.value()))
+		}
+	}
+}
+
+func writeHistogramChild(w io.Writer, f *family, c *child) {
+	s := Histogram{f, c}.Snapshot()
+	for i, le := range s.UpperBounds {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelString(f.labelNames, c.labelValues, "le", formatValue(le)), s.Buckets[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+		labelString(f.labelNames, c.labelValues, "le", "+Inf"), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+		labelString(f.labelNames, c.labelValues, "", ""), formatValue(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+		labelString(f.labelNames, c.labelValues, "", ""), s.Count)
+}
+
+// labelString renders {k="v",...} with an optional extra pair (the
+// histogram le label), or the empty string when there are no labels.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabelValue escapes backslash, double quote and newline per the
+// exposition format.
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeHelp escapes backslash and newline (quotes are legal in HELP).
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// formatValue renders a sample value: shortest round-trip float, with
+// the Prometheus spellings of the non-finite values.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

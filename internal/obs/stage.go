@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// StageEvent is one completed solver phase: the DP table build, an
+// annealing sweep, a Monte-Carlo replication batch, a parallel shard
+// fan-out. Units counts the phase's work items (restarts, replications,
+// table cells) when meaningful, 0 otherwise.
+type StageEvent struct {
+	Name     string
+	Duration time.Duration
+	Units    int64
+	Attrs    map[string]string
+}
+
+// StageObserver receives stage events. Implementations must be safe for
+// concurrent use: parallel solver shards report concurrently.
+type StageObserver func(StageEvent)
+
+type stageKey struct{}
+
+// WithStageObserver returns a context that delivers solver stage events
+// to fn. A nil fn returns ctx unchanged.
+func WithStageObserver(ctx context.Context, fn StageObserver) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, stageKey{}, fn)
+}
+
+func observerFrom(ctx context.Context) StageObserver {
+	if ctx == nil {
+		return nil
+	}
+	fn, _ := ctx.Value(stageKey{}).(StageObserver)
+	return fn
+}
+
+// Active reports whether ctx carries a stage observer or an active
+// trace — i.e. whether Stage(ctx, ...) would record anything. Hot paths
+// use it to skip per-worker measurement entirely when nobody is
+// watching, so instrumentation costs nothing on unobserved runs.
+func Active(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	if observerFrom(ctx) != nil {
+		return true
+	}
+	_, ok := refFrom(ctx)
+	return ok
+}
+
+// Stage reports a completed solver phase that started at start and ends
+// now: it invokes the context's stage observer (if any) and records a
+// child span on the context's trace (if any). Solvers call this
+// unconditionally — with neither installed it costs two context lookups
+// and nothing else, and it never affects solver results.
+func Stage(ctx context.Context, name string, start time.Time, units int64, attrs map[string]string) {
+	if ctx == nil {
+		return
+	}
+	end := time.Now()
+	if fn := observerFrom(ctx); fn != nil {
+		fn(StageEvent{Name: name, Duration: end.Sub(start), Units: units, Attrs: attrs})
+	}
+	RecordSpan(ctx, name, start, end, attrs)
+}

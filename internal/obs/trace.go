@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Span is one completed, named slice of work inside a trace. Spans form
+// a tree through ParentID; the root span has an empty ParentID.
+type Span struct {
+	TraceID  string            `json:"traceId"`
+	SpanID   string            `json:"spanId"`
+	ParentID string            `json:"parentId,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	End      time.Time         `json:"end"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// DurationSeconds returns the span's wall-clock length.
+func (s Span) DurationSeconds() float64 { return s.End.Sub(s.Start).Seconds() }
+
+// Trace is one completed request trace: the root span's identity plus
+// every span recorded before the root ended (spans are in completion
+// order; the root span is last).
+type Trace struct {
+	TraceID string    `json:"traceId"`
+	Root    string    `json:"root"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
+	Spans   []Span    `json:"spans"`
+}
+
+// Recorder is a bounded in-memory store of completed traces (a ring:
+// when full, recording a new trace evicts the oldest). The zero value
+// is unusable; build with NewRecorder. A nil *Recorder is safe
+// everywhere and records nothing.
+type Recorder struct {
+	mu       sync.Mutex
+	capacity int
+	buf      []Trace
+	next     int    // ring write position once len(buf) == capacity
+	recorded uint64 // total traces ever recorded
+}
+
+// NewRecorder returns a recorder keeping the most recent capacity
+// traces (capacity < 1 defaults to 256).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &Recorder{capacity: capacity}
+}
+
+func (r *Recorder) add(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < r.capacity {
+		r.buf = append(r.buf, t)
+	} else {
+		r.buf[r.next] = t
+		r.next = (r.next + 1) % r.capacity
+	}
+	r.recorded++
+	r.mu.Unlock()
+}
+
+// Traces returns the stored traces, newest first.
+func (r *Recorder) Traces() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, len(r.buf))
+	// The ring holds the oldest trace at next (once wrapped) and the
+	// newest just before it; walk backwards from the newest.
+	for i := len(r.buf) - 1; i >= 0; i-- {
+		out = append(out, r.buf[(r.next+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Find returns the stored trace with the given ID.
+func (r *Recorder) Find(traceID string) (Trace, bool) {
+	for _, t := range r.Traces() {
+		if t.TraceID == traceID {
+			return t, true
+		}
+	}
+	return Trace{}, false
+}
+
+// Stats returns how many traces are stored now and how many were ever
+// recorded (the difference is the evicted count).
+func (r *Recorder) Stats() (stored int, recorded uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf), r.recorded
+}
+
+// activeTrace collects the spans of one in-flight trace. It is shared
+// across goroutines (pool workers record spans into the requesting
+// trace), so all mutation is under mu. When the root span ends the
+// trace flushes to the recorder; spans ending after that are dropped —
+// a detached solve that outlives its request keeps running, but its
+// late spans no longer have a trace to land in.
+type activeTrace struct {
+	rec     *Recorder
+	traceID string
+
+	mu      sync.Mutex
+	spans   []Span
+	flushed bool
+}
+
+func (at *activeTrace) addSpan(sp Span) {
+	at.mu.Lock()
+	if !at.flushed {
+		at.spans = append(at.spans, sp)
+	}
+	at.mu.Unlock()
+}
+
+func (at *activeTrace) flush(root Span) {
+	at.mu.Lock()
+	if at.flushed {
+		at.mu.Unlock()
+		return
+	}
+	at.flushed = true
+	spans := append(at.spans, root)
+	at.spans = nil
+	at.mu.Unlock()
+	at.rec.add(Trace{
+		TraceID: at.traceID, Root: root.Name,
+		Start: root.Start, End: root.End, Spans: spans,
+	})
+}
+
+// SpanHandle is an open span. Handles are not safe for concurrent use
+// (each goroutine opens its own spans); a nil handle is safe and inert,
+// so callers never need to check whether tracing is active.
+type SpanHandle struct {
+	at   *activeTrace
+	span Span
+	root bool
+}
+
+// SetAttr attaches a key/value annotation (call before End).
+func (h *SpanHandle) SetAttr(k, v string) {
+	if h == nil {
+		return
+	}
+	if h.span.Attrs == nil {
+		h.span.Attrs = make(map[string]string)
+	}
+	h.span.Attrs[k] = v
+}
+
+// End completes the span. Ending the root span flushes the whole trace
+// to the recorder. End is idempotent.
+func (h *SpanHandle) End() {
+	if h == nil || !h.span.End.IsZero() {
+		return
+	}
+	h.span.End = time.Now()
+	if h.root {
+		h.at.flush(h.span)
+	} else {
+		h.at.addSpan(h.span)
+	}
+}
+
+// spanRef is the context value: which active trace we are in and which
+// span is the current parent.
+type spanRef struct {
+	at     *activeTrace
+	spanID string
+}
+
+type spanRefKey struct{}
+
+func refFrom(ctx context.Context) (spanRef, bool) {
+	if ctx == nil {
+		return spanRef{}, false
+	}
+	ref, ok := ctx.Value(spanRefKey{}).(spanRef)
+	return ref, ok
+}
+
+// StartTrace opens a new trace with a fresh ID rooted at a span called
+// name, returning the derived context (carrying the root as current
+// span) and the root handle. A nil recorder returns ctx unchanged and a
+// nil handle.
+func (r *Recorder) StartTrace(ctx context.Context, name string) (context.Context, *SpanHandle) {
+	return r.StartTraceID(ctx, NewTraceID(), name)
+}
+
+// StartTraceID is StartTrace with a caller-chosen trace ID — the async
+// job engine allocates the ID at submit time (so the job status can
+// carry it) and starts the trace when the job actually runs.
+func (r *Recorder) StartTraceID(ctx context.Context, traceID, name string) (context.Context, *SpanHandle) {
+	if r == nil {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	at := &activeTrace{rec: r, traceID: traceID}
+	h := &SpanHandle{
+		at:   at,
+		span: Span{TraceID: traceID, SpanID: newSpanID(), Name: name, Start: time.Now()},
+		root: true,
+	}
+	return context.WithValue(ctx, spanRefKey{}, spanRef{at: at, spanID: h.span.SpanID}), h
+}
+
+// StartSpan opens a child of the current span. Without a trace in ctx
+// it returns ctx unchanged and a nil (inert) handle.
+func StartSpan(ctx context.Context, name string) (context.Context, *SpanHandle) {
+	ref, ok := refFrom(ctx)
+	if !ok {
+		return ctx, nil
+	}
+	h := &SpanHandle{
+		at: ref.at,
+		span: Span{
+			TraceID: ref.at.traceID, SpanID: newSpanID(), ParentID: ref.spanID,
+			Name: name, Start: time.Now(),
+		},
+	}
+	return context.WithValue(ctx, spanRefKey{}, spanRef{at: ref.at, spanID: h.span.SpanID}), h
+}
+
+// RecordSpan records an already-completed child of the current span —
+// for work measured with explicit timestamps, like the queue wait
+// between submitting to a worker pool and a worker picking the task up.
+// Without a trace in ctx it is a no-op.
+func RecordSpan(ctx context.Context, name string, start, end time.Time, attrs map[string]string) {
+	ref, ok := refFrom(ctx)
+	if !ok {
+		return
+	}
+	ref.at.addSpan(Span{
+		TraceID: ref.at.traceID, SpanID: newSpanID(), ParentID: ref.spanID,
+		Name: name, Start: start, End: end, Attrs: attrs,
+	})
+}
+
+// TraceIDFrom returns the current trace's ID, or "" when ctx carries no
+// trace.
+func TraceIDFrom(ctx context.Context) string {
+	ref, ok := refFrom(ctx)
+	if !ok {
+		return ""
+	}
+	return ref.at.traceID
+}
+
+// CopyTrace grafts src's trace reference (active trace and current
+// span) onto dst. This is how a detached execution context — a solve
+// running under context.Background so a departing client cannot cancel
+// work that dedup followers share — keeps recording spans into the
+// originating request's trace.
+func CopyTrace(dst, src context.Context) context.Context {
+	ref, ok := refFrom(src)
+	if !ok {
+		return dst
+	}
+	if dst == nil {
+		dst = context.Background()
+	}
+	return context.WithValue(dst, spanRefKey{}, ref)
+}
+
+// NewTraceID returns a fresh 128-bit hex trace ID.
+func NewTraceID() string { return randomHex(16) }
+
+func newSpanID() string { return randomHex(8) }
+
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("obs: id entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b)
+}

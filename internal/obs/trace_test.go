@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceLifecycleNestedSpans(t *testing.T) {
+	rec := NewRecorder(8)
+	ctx, root := rec.StartTrace(context.Background(), "http.request")
+	if TraceIDFrom(ctx) == "" {
+		t.Fatal("no trace ID in context")
+	}
+
+	cctx, child := StartSpan(ctx, "solve")
+	child.SetAttr("method", "dp")
+	_, grand := StartSpan(cctx, "marshal")
+	grand.End()
+	child.End()
+
+	if got, _ := rec.Stats(); got != 0 {
+		t.Fatalf("trace flushed before root ended (stored=%d)", got)
+	}
+	root.SetAttr("code", "200")
+	root.End()
+	root.End() // idempotent
+
+	traces := rec.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Root != "http.request" || tr.TraceID != TraceIDFrom(ctx) {
+		t.Fatalf("bad trace identity: %+v", tr)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(tr.Spans))
+	}
+	// Spans are in completion order; the root is last.
+	byName := map[string]Span{}
+	for _, sp := range tr.Spans {
+		byName[sp.Name] = sp
+		if sp.TraceID != tr.TraceID {
+			t.Errorf("span %q has trace ID %q, want %q", sp.Name, sp.TraceID, tr.TraceID)
+		}
+		if sp.End.Before(sp.Start) {
+			t.Errorf("span %q ends before it starts", sp.Name)
+		}
+	}
+	rootSpan := tr.Spans[len(tr.Spans)-1]
+	if rootSpan.Name != "http.request" || rootSpan.ParentID != "" {
+		t.Fatalf("last span is not the root: %+v", rootSpan)
+	}
+	if rootSpan.Attrs["code"] != "200" {
+		t.Errorf("root attrs = %v", rootSpan.Attrs)
+	}
+	if byName["solve"].ParentID != rootSpan.SpanID {
+		t.Errorf("solve parent = %q, want root %q", byName["solve"].ParentID, rootSpan.SpanID)
+	}
+	if byName["marshal"].ParentID != byName["solve"].SpanID {
+		t.Errorf("marshal parent = %q, want solve %q", byName["marshal"].ParentID, byName["solve"].SpanID)
+	}
+	if byName["solve"].Attrs["method"] != "dp" {
+		t.Errorf("solve attrs = %v", byName["solve"].Attrs)
+	}
+
+	if got, ok := rec.Find(tr.TraceID); !ok || got.TraceID != tr.TraceID {
+		t.Errorf("Find(%q) = %v, %v", tr.TraceID, got, ok)
+	}
+	if _, ok := rec.Find("nope"); ok {
+		t.Error("Find of unknown ID succeeded")
+	}
+}
+
+// TestTraceAcrossGoroutines models the pool handoff: the span-carrying
+// context crosses into worker goroutines (via CopyTrace onto a detached
+// context) and their spans land in the originating trace.
+func TestTraceAcrossGoroutines(t *testing.T) {
+	rec := NewRecorder(8)
+	ctx, root := rec.StartTrace(context.Background(), "req")
+
+	detached := CopyTrace(context.Background(), ctx)
+	if TraceIDFrom(detached) != TraceIDFrom(ctx) {
+		t.Fatal("CopyTrace did not carry the trace ID")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := StartSpan(detached, fmt.Sprintf("worker-%d", i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+
+	tr, ok := rec.Find(TraceIDFrom(ctx))
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	if len(tr.Spans) != 5 { // 4 workers + root
+		t.Fatalf("got %d spans, want 5", len(tr.Spans))
+	}
+}
+
+func TestRecordSpanAndLateSpansDropped(t *testing.T) {
+	rec := NewRecorder(8)
+	ctx, root := rec.StartTrace(context.Background(), "req")
+	t0 := time.Now().Add(-10 * time.Millisecond)
+	RecordSpan(ctx, "queue.wait", t0, time.Now(), map[string]string{"depth": "3"})
+	root.End()
+
+	// Spans completing after the root flushed must not corrupt the
+	// recorded trace (the detached-solve-outlives-request case).
+	_, late := StartSpan(ctx, "late")
+	late.End()
+	RecordSpan(ctx, "also-late", t0, time.Now(), nil)
+
+	tr, _ := rec.Find(TraceIDFrom(ctx))
+	if len(tr.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (queue.wait + root)", len(tr.Spans))
+	}
+	if tr.Spans[0].Name != "queue.wait" || tr.Spans[0].Attrs["depth"] != "3" {
+		t.Errorf("queue span = %+v", tr.Spans[0])
+	}
+}
+
+func TestRecorderBoundEviction(t *testing.T) {
+	rec := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		_, root := rec.StartTraceID(context.Background(), fmt.Sprintf("id-%d", i), "r")
+		root.End()
+	}
+	stored, recorded := rec.Stats()
+	if stored != 3 || recorded != 5 {
+		t.Fatalf("stats = (%d, %d), want (3, 5)", stored, recorded)
+	}
+	traces := rec.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("got %d traces, want 3", len(traces))
+	}
+	for i, want := range []string{"id-4", "id-3", "id-2"} { // newest first
+		if traces[i].TraceID != want {
+			t.Errorf("traces[%d] = %q, want %q", i, traces[i].TraceID, want)
+		}
+	}
+	if _, ok := rec.Find("id-0"); ok {
+		t.Error("evicted trace still findable")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var rec *Recorder
+	ctx, root := rec.StartTrace(context.Background(), "r")
+	root.SetAttr("k", "v")
+	root.End()
+	if TraceIDFrom(ctx) != "" {
+		t.Error("nil recorder produced a trace")
+	}
+	_, sp := StartSpan(ctx, "child")
+	sp.End()
+	RecordSpan(ctx, "x", time.Now(), time.Now(), nil)
+	Stage(ctx, "stage", time.Now(), 1, nil)
+	Stage(nil, "stage", time.Now(), 1, nil) //nolint:staticcheck // nil ctx is part of the contract
+	if n := rec.Traces(); n != nil {
+		t.Errorf("nil recorder Traces() = %v", n)
+	}
+}
+
+func TestStageObserverAndSpan(t *testing.T) {
+	rec := NewRecorder(4)
+	ctx, root := rec.StartTrace(context.Background(), "req")
+
+	var mu sync.Mutex
+	var events []StageEvent
+	ctx = WithStageObserver(ctx, func(e StageEvent) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+
+	start := time.Now().Add(-5 * time.Millisecond)
+	Stage(ctx, "search.anneal", start, 128, map[string]string{"accepted": "40"})
+	root.End()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Name != "search.anneal" || e.Units != 128 || e.Attrs["accepted"] != "40" {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Duration < 5*time.Millisecond {
+		t.Errorf("duration = %v, want >= 5ms", e.Duration)
+	}
+	tr, _ := rec.Find(TraceIDFrom(ctx))
+	if len(tr.Spans) != 2 || tr.Spans[0].Name != "search.anneal" {
+		t.Errorf("stage span not recorded: %+v", tr.Spans)
+	}
+}
+
+func TestWithStageObserverNilFn(t *testing.T) {
+	ctx := context.Background()
+	if got := WithStageObserver(ctx, nil); got != ctx {
+		t.Error("nil observer should return ctx unchanged")
+	}
+}

@@ -4,8 +4,12 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"relpipe/internal/obs"
 )
 
 // Degree resolves a requested parallelism: 0 means GOMAXPROCS and
@@ -94,6 +98,17 @@ func runShards(ctx context.Context, p int, shards []Shard, fn func(ctx context.C
 	panics := make([]any, len(shards))
 	var next atomic.Int64
 	workers := min(p, len(shards))
+	// Per-worker busy time is measured only when someone is observing
+	// (obs.Active), so unobserved solves pay no clock calls per shard.
+	// Measurement is strictly read-only bookkeeping: it can never change
+	// shard order, results, or errors.
+	measure := obs.Active(ctx)
+	var fanStart time.Time
+	var busy []int64
+	if measure {
+		fanStart = time.Now()
+		busy = make([]int64, workers)
+	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -104,7 +119,15 @@ func runShards(ctx context.Context, p int, shards []Shard, fn func(ctx context.C
 				if i >= len(shards) || runCtx.Err() != nil {
 					return
 				}
-				if err := runShard(runCtx, i, shards[i], fn, panics); err != nil {
+				var t0 time.Time
+				if measure {
+					t0 = time.Now()
+				}
+				err := runShard(runCtx, i, shards[i], fn, panics)
+				if measure {
+					busy[w] += time.Since(t0).Nanoseconds()
+				}
+				if err != nil {
 					errs[i] = err
 					cancel()
 				}
@@ -122,6 +145,9 @@ func runShards(ctx context.Context, p int, shards []Shard, fn func(ctx context.C
 			panic(pv)
 		}
 	}
+	if measure {
+		reportShards(ctx, fanStart, len(shards), workers, busy)
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -131,6 +157,26 @@ func runShards(ctx context.Context, p int, shards []Shard, fn func(ctx context.C
 		}
 	}
 	return nil
+}
+
+// reportShards emits the par.shards stage for one parallel fan-out:
+// units = shard count, attrs carry the worker count and the load
+// imbalance max(busy)·workers/sum(busy) (1.0 = perfectly balanced,
+// approaching `workers` = one worker did everything).
+func reportShards(ctx context.Context, start time.Time, shards, workers int, busy []int64) {
+	var sum, maxBusy int64
+	for _, b := range busy {
+		sum += b
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	attrs := map[string]string{"workers": strconv.Itoa(workers)}
+	if sum > 0 {
+		imb := float64(maxBusy) * float64(workers) / float64(sum)
+		attrs["imbalance"] = strconv.FormatFloat(imb, 'f', 3, 64)
+	}
+	obs.Stage(ctx, "par.shards", start, int64(shards), attrs)
 }
 
 // errShardPanic marks a shard stopped by a panic; the recorded panic

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"relpipe/internal/alloc"
@@ -12,6 +13,7 @@ import (
 	"relpipe/internal/heur"
 	"relpipe/internal/interval"
 	"relpipe/internal/mapping"
+	"relpipe/internal/obs"
 	"relpipe/internal/par"
 	"relpipe/internal/platform"
 	"relpipe/internal/progress"
@@ -85,6 +87,11 @@ type Stats struct {
 	Restarts int `json:"restarts"`
 	// Iterations summed over every restart.
 	Iterations int64 `json:"iterations"`
+	// Accepted counts the annealer moves accepted across every restart
+	// (improving moves plus Metropolis uphill acceptances); the
+	// acceptance rate Accepted/Iterations is the classic annealing
+	// health signal.
+	Accepted int64 `json:"accepted"`
 	// SeedScore is the best raw heuristic candidate's score before any
 	// local search (the baseline the search must beat).
 	SeedScore float64 `json:"seedScore"`
@@ -172,6 +179,7 @@ type restartOut struct {
 	m         mapping.Mapping
 	cost      float64
 	iters     int
+	accepted  int
 	truncated bool
 }
 
@@ -200,7 +208,9 @@ func run(c chain.Chain, pl platform.Platform, opts Options, obj objective) (Resu
 	opts = opts.defaults(len(c))
 	prob := problem{c: c, pl: pl, opts: opts, obj: obj}
 
+	seedStart := time.Now()
 	seeds := prob.seedPool()
+	obs.Stage(opts.Context, "search.seed", seedStart, int64(len(seeds)), nil)
 	if len(seeds) == 0 {
 		// Not even an unconstrained single-interval allocation exists
 		// (e.g. Allowed forbids every processor): no mapping at all.
@@ -213,6 +223,7 @@ func run(c chain.Chain, pl platform.Platform, opts Options, obj objective) (Resu
 		deadline = time.Now().Add(opts.TimeBudget)
 	}
 
+	annealStart := time.Now()
 	restarts := progress.NewCounter(int64(opts.Restarts), opts.Progress)
 	outs, err := par.Map(opts.Context, opts.Parallelism, opts.Restarts, func(r int) (restartOut, error) {
 		out, err := prob.restart(r, seeds, deadline)
@@ -228,15 +239,20 @@ func run(c chain.Chain, pl platform.Platform, opts Options, obj objective) (Resu
 	// Deterministic best-of reduce: highest score wins, ties go to the
 	// lowest restart index (par.Map returns results in index order).
 	best := outs[0]
-	var iters int64
+	var iters, accepted int64
 	truncated := false
 	for i, o := range outs {
 		iters += int64(o.iters)
+		accepted += int64(o.accepted)
 		truncated = truncated || o.truncated
 		if i > 0 && o.score > best.score {
 			best = o
 		}
 	}
+	obs.Stage(opts.Context, "search.anneal", annealStart, iters, map[string]string{
+		"restarts": strconv.Itoa(opts.Restarts),
+		"accepted": strconv.FormatInt(accepted, 10),
+	})
 
 	// Re-evaluate through the validating path: the engine's own
 	// bookkeeping must agree, and downstream callers receive an Eval
@@ -248,7 +264,7 @@ func run(c chain.Chain, pl platform.Platform, opts Options, obj objective) (Resu
 	res := Result{
 		M: best.m, Ev: ev, TotalCost: best.cost,
 		Stats: Stats{
-			Restarts: opts.Restarts, Iterations: iters,
+			Restarts: opts.Restarts, Iterations: iters, Accepted: accepted,
 			SeedScore: seedScore, BestScore: best.score, Truncated: truncated,
 		},
 	}
@@ -470,6 +486,7 @@ func (p problem) restart(r int, seeds []seedCandidate, deadline time.Time) (rest
 		delta := nextScore - curScore
 		if delta >= 0 || rand.Float64() < math.Exp(delta/temperature(t0, it, budget)) {
 			cur, curCost, curScore = next, nextCost, nextScore
+			out.accepted++
 		}
 		if curScore > bestScore {
 			best, bestCost, bestScore = cur.clone(), curCost, curScore

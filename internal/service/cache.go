@@ -9,10 +9,11 @@ import (
 // keys to marshaled response bodies. Values are treated as immutable:
 // callers must not modify a returned slice. Safe for concurrent use.
 type Cache struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recently used
-	items map[string]*list.Element
+	mu        sync.Mutex
+	cap       int
+	order     *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
 }
 
 type cacheEntry struct {
@@ -56,6 +57,7 @@ func (c *Cache) Put(key string, body []byte) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 
@@ -64,4 +66,11 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Evictions returns how many entries LRU pressure has evicted.
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }

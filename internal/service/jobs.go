@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"relpipe"
 	"relpipe/internal/jobs"
+	"relpipe/internal/obs"
 	"relpipe/internal/progress"
 )
 
@@ -77,9 +80,15 @@ func (s *Server) submitJob(req relpipe.JobSubmitRequest) (relpipe.JobStatus, err
 		}
 		return relpipe.JobStatus(j.Status()), nil
 	}
-	j, err := s.jobs.Submit(context.Background(), req.Kind, req.Client,
+	// The trace ID is allocated at submit time so the 202 status already
+	// carries it; the trace itself is recorded when the runner executes.
+	tid := obs.NewTraceID()
+	j, err := s.jobs.SubmitTraced(context.Background(), req.Kind, req.Client, tid,
 		func(ctx context.Context, ctl jobs.Control) jobs.Outcome {
-			out := s.runAsyncSolve(ctx, key, solve, ctl.Running, ctl.Progress)
+			tctx, root := s.recorder.StartTraceID(ctx, tid, "job "+req.Kind)
+			out := s.runAsyncSolve(tctx, key, solve, ctl.Running, ctl.Progress)
+			root.SetAttr("status", strconv.Itoa(out.status))
+			root.End()
 			return jobs.Outcome{Status: out.status, Body: out.body}
 		})
 	if err != nil {
@@ -96,12 +105,18 @@ func (s *Server) submitJob(req relpipe.JobSubmitRequest) (relpipe.JobStatus, err
 // non-nil, marks the queued→running transition once a worker picks the
 // solve up.
 func (s *Server) runAsyncSolve(ctx context.Context, key string, solve solveFunc, running func(), report progress.Func) outcome {
-	if b, ok := s.cache.Get(key); ok {
+	ctx = obs.WithStageObserver(ctx, s.metrics.StageObserver())
+	t0 := time.Now()
+	b, hit := s.cache.Get(key)
+	obs.RecordSpan(ctx, "cache", t0, time.Now(), map[string]string{"hit": strconv.FormatBool(hit)})
+	if hit {
 		s.metrics.CacheHit()
 		return outcome{http.StatusOK, b}
 	}
 	s.metrics.CacheMiss()
+	enqueued := time.Now()
 	val, err := s.pool.DoWait(ctx, func() (any, error) {
+		obs.RecordSpan(ctx, "queue.wait", enqueued, time.Now(), nil)
 		if running != nil {
 			running()
 		}
@@ -134,11 +149,15 @@ func (s *Server) submitBatchJob(req relpipe.JobSubmitRequest) (relpipe.JobStatus
 	if len(batch.Jobs) > s.opts.MaxBatchJobs {
 		return zero, fmt.Errorf("batch: %d jobs exceeds limit %d", len(batch.Jobs), s.opts.MaxBatchJobs)
 	}
-	j, err := s.jobs.Submit(context.Background(), req.Kind, req.Client,
-		func(ctx context.Context, ctl jobs.Control) jobs.Outcome {
+	tid := obs.NewTraceID()
+	j, err := s.jobs.SubmitTraced(context.Background(), req.Kind, req.Client, tid,
+		func(jctx context.Context, ctl jobs.Control) jobs.Outcome {
+			ctx, root := s.recorder.StartTraceID(jctx, tid, "job batch")
+			defer root.End()
 			ctl.Running()
 			total := int64(len(batch.Jobs))
 			ctl.Progress(0, total) // the item count is known up front
+			root.SetAttr("items", strconv.FormatInt(total, 10))
 			results := s.runBatchItems(batch.Jobs, func(kind string, parse parser, body []byte) outcome {
 				s.metrics.Request(kind)
 				if err := ctx.Err(); err != nil {

@@ -3,102 +3,194 @@ package service
 import (
 	"encoding/json"
 	"net/http"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"strconv"
+
+	"relpipe/internal/jobs"
+	"relpipe/internal/obs"
 )
 
-// latencyBuckets are the upper bounds (seconds) of the solve-latency
-// histogram, exponential from 1 ms to 10 s; an implicit +Inf bucket
-// catches the rest.
+// latencyBuckets are the upper bounds (seconds) of the latency
+// histograms, exponential from 1 ms to 10 s; an implicit +Inf bucket
+// catches the rest. They equal obs.DefBuckets (checked by a test) — the
+// service predates the registry and keeps its own name for the JSON
+// snapshot.
 var latencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// numBuckets is len(latencyBuckets); kept as a constant for the
-// fixed-size atomic counter array (checked by a test).
-const numBuckets = 13
-
-// Metrics aggregates the service counters exposed at /metrics. All
-// methods are safe for concurrent use; counters are monotonic, QueueDepth
-// is a gauge maintained by the worker pool.
+// Metrics aggregates the service counters. It is a thin facade over an
+// obs.Registry: the named methods the server and pool call (Request,
+// CacheHit, ObserveSolve, ...) update registry instruments, the registry
+// renders the Prometheus exposition at /metrics, and Snapshot/ServeHTTP
+// keep serving the pre-registry JSON document at /metrics.json. All
+// methods are safe for concurrent use.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[string]int64 // per endpoint
+	reg *obs.Registry
 
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	dedupJoins  atomic.Int64
-	solves      atomic.Int64
-	rejected    atomic.Int64 // queue-full 429s
-	queueDepth  atomic.Int64
-
-	histCounts [numBuckets + 1]atomic.Int64
-	histSumNs  atomic.Int64
-	histCount  atomic.Int64
+	requests     *obs.CounterVec   // relpipe_requests_total{endpoint}
+	httpRequests *obs.CounterVec   // relpipe_http_requests_total{endpoint,code}
+	httpLatency  *obs.HistogramVec // relpipe_http_request_duration_seconds{endpoint}
+	cacheHits    obs.Counter
+	cacheMisses  obs.Counter
+	dedupJoins   obs.Counter
+	solves       obs.Counter
+	rejected     obs.Counter
+	queueDepth   obs.Gauge
+	solveLatency obs.Histogram     // relpipe_solve_duration_seconds
+	stageLatency *obs.HistogramVec // relpipe_solver_stage_duration_seconds{stage}
+	stageUnits   *obs.CounterVec   // relpipe_solver_stage_units_total{stage}
 }
 
-// NewMetrics returns an empty metrics registry.
+// NewMetrics returns a metrics registry with every service instrument
+// registered.
 func NewMetrics() *Metrics {
-	return &Metrics{requests: make(map[string]int64)}
+	reg := obs.NewRegistry()
+	return &Metrics{
+		reg: reg,
+		requests: reg.NewCounterVec("relpipe_requests_total",
+			"Logical solve requests by endpoint (batch items count individually).", "endpoint"),
+		httpRequests: reg.NewCounterVec("relpipe_http_requests_total",
+			"HTTP requests by endpoint and status code.", "endpoint", "code"),
+		httpLatency: reg.NewHistogramVec("relpipe_http_request_duration_seconds",
+			"HTTP request latency by endpoint.", latencyBuckets, "endpoint"),
+		cacheHits: reg.NewCounter("relpipe_cache_hits_total",
+			"Result-cache hits."),
+		cacheMisses: reg.NewCounter("relpipe_cache_misses_total",
+			"Result-cache misses."),
+		dedupJoins: reg.NewCounter("relpipe_dedup_joins_total",
+			"Requests that attached to an identical in-flight solve."),
+		solves: reg.NewCounter("relpipe_solves_total",
+			"Underlying solver executions."),
+		rejected: reg.NewCounter("relpipe_rejected_total",
+			"Requests shed with 429 because the worker queue was full."),
+		queueDepth: reg.NewGauge("relpipe_queue_depth",
+			"Solves waiting for a worker."),
+		solveLatency: reg.NewHistogram("relpipe_solve_duration_seconds",
+			"Solver execution latency.", latencyBuckets),
+		stageLatency: reg.NewHistogramVec("relpipe_solver_stage_duration_seconds",
+			"Solver stage latency (dp.table, search.anneal, sim.batch, ...).", latencyBuckets, "stage"),
+		stageUnits: reg.NewCounterVec("relpipe_solver_stage_units_total",
+			"Work units completed per solver stage (restarts, replications, table cells).", "stage"),
+	}
 }
+
+// Registry exposes the underlying obs registry (the /metrics handler
+// and extra instrument registration).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // Request counts one request against an endpoint name.
-func (m *Metrics) Request(endpoint string) {
-	m.mu.Lock()
-	m.requests[endpoint]++
-	m.mu.Unlock()
+func (m *Metrics) Request(endpoint string) { m.requests.With(endpoint).Inc() }
+
+// HTTPRequest records one finished HTTP exchange (the trace middleware
+// calls it with the final status code and wall-clock latency).
+func (m *Metrics) HTTPRequest(endpoint string, code int, seconds float64) {
+	m.httpRequests.With(endpoint, strconv.Itoa(code)).Inc()
+	m.httpLatency.With(endpoint).Observe(seconds)
 }
 
 // CacheHit / CacheMiss count result-cache lookups.
-func (m *Metrics) CacheHit()  { m.cacheHits.Add(1) }
-func (m *Metrics) CacheMiss() { m.cacheMisses.Add(1) }
+func (m *Metrics) CacheHit()  { m.cacheHits.Inc() }
+func (m *Metrics) CacheMiss() { m.cacheMisses.Inc() }
 
 // DedupJoin counts a request that attached to an identical in-flight
 // solve instead of starting its own.
-func (m *Metrics) DedupJoin() { m.dedupJoins.Add(1) }
+func (m *Metrics) DedupJoin() { m.dedupJoins.Inc() }
 
 // Solve counts one underlying solver execution.
-func (m *Metrics) Solve() { m.solves.Add(1) }
+func (m *Metrics) Solve() { m.solves.Inc() }
 
 // Rejected counts a request shed with 429 because the queue was full.
-func (m *Metrics) Rejected() { m.rejected.Add(1) }
+func (m *Metrics) Rejected() { m.rejected.Inc() }
 
 // QueueEnter / QueueLeave maintain the queue-depth gauge.
-func (m *Metrics) QueueEnter() { m.queueDepth.Add(1) }
-func (m *Metrics) QueueLeave() { m.queueDepth.Add(-1) }
+func (m *Metrics) QueueEnter() { m.queueDepth.Inc() }
+func (m *Metrics) QueueLeave() { m.queueDepth.Dec() }
 
 // ObserveSolve records one solve latency in the histogram.
-func (m *Metrics) ObserveSolve(seconds float64) {
-	i := sort.SearchFloat64s(latencyBuckets, seconds)
-	m.histCounts[i].Add(1)
-	m.histSumNs.Add(int64(seconds * 1e9))
-	m.histCount.Add(1)
+func (m *Metrics) ObserveSolve(seconds float64) { m.solveLatency.Observe(seconds) }
+
+// StageObserver returns the hook that turns solver stage events
+// (obs.Stage calls inside core, search, dp, sim, adapt, par) into the
+// per-stage latency histogram and unit counters.
+func (m *Metrics) StageObserver() obs.StageObserver {
+	return func(e obs.StageEvent) {
+		m.stageLatency.With(e.Name).Observe(e.Duration.Seconds())
+		if e.Units > 0 {
+			m.stageUnits.With(e.Name).Add(float64(e.Units))
+		}
+	}
+}
+
+// RegisterCacheStats exports the result cache's size and evictions.
+func (m *Metrics) RegisterCacheStats(c *Cache) {
+	m.reg.NewGaugeFunc("relpipe_cache_entries",
+		"Result-cache entries.", nil, nil, func() float64 { return float64(c.Len()) })
+	m.reg.NewCounterFunc("relpipe_cache_evictions_total",
+		"Result-cache LRU evictions.", nil, nil, func() float64 { return float64(c.Evictions()) })
+}
+
+// RegisterJobStats exports the async job engine's lifecycle gauges and
+// counters.
+func (m *Metrics) RegisterJobStats(e *jobs.Engine) {
+	for _, st := range []string{"queued", "running", "terminal"} {
+		m.reg.NewGaugeFunc("relpipe_jobs",
+			"Stored async jobs by lifecycle state.", []string{"state"}, []string{st},
+			func() float64 {
+				s := e.Stats()
+				switch st {
+				case "queued":
+					return float64(s.Queued)
+				case "running":
+					return float64(s.Running)
+				default:
+					return float64(s.Terminal)
+				}
+			})
+	}
+	m.reg.NewGaugeFunc("relpipe_job_subscribers",
+		"Open SSE event-stream subscriptions.", nil, nil,
+		func() float64 { return float64(e.Stats().Subscribers) })
+	m.reg.NewCounterFunc("relpipe_jobs_submitted_total",
+		"Async jobs admitted.", nil, nil,
+		func() float64 { return float64(e.Stats().Submitted) })
+	m.reg.NewCounterFunc("relpipe_jobs_evicted_total",
+		"Async jobs evicted from the store (capacity or TTL).", nil, nil,
+		func() float64 { return float64(e.Stats().Evicted) })
+}
+
+// RegisterTraceStats exports the trace recorder's occupancy.
+func (m *Metrics) RegisterTraceStats(rec *obs.Recorder) {
+	m.reg.NewGaugeFunc("relpipe_traces_stored",
+		"Traces currently held by the bounded recorder.", nil, nil,
+		func() float64 { stored, _ := rec.Stats(); return float64(stored) })
+	m.reg.NewCounterFunc("relpipe_traces_recorded_total",
+		"Traces ever recorded (recorded - stored = evicted).", nil, nil,
+		func() float64 { _, recorded := rec.Stats(); return float64(recorded) })
 }
 
 // Solves returns the number of underlying solver executions (tests
 // assert dedup and caching through it).
-func (m *Metrics) Solves() int64 { return m.solves.Load() }
+func (m *Metrics) Solves() int64 { return int64(m.solves.Value()) }
 
 // QueueDepth returns the current pending-solve gauge.
-func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
+func (m *Metrics) QueueDepth() int64 { return int64(m.queueDepth.Value()) }
 
 // MeanSolveSeconds returns the mean observed solve latency (0 before
 // any solve completed). The backpressure Retry-After estimate uses it.
 func (m *Metrics) MeanSolveSeconds() float64 {
-	n := m.histCount.Load()
-	if n == 0 {
+	s := m.solveLatency.Snapshot()
+	if s.Count == 0 {
 		return 0
 	}
-	return float64(m.histSumNs.Load()) / 1e9 / float64(n)
+	return s.Sum / float64(s.Count)
 }
 
 // CacheHits returns the number of result-cache hits.
-func (m *Metrics) CacheHits() int64 { return m.cacheHits.Load() }
+func (m *Metrics) CacheHits() int64 { return int64(m.cacheHits.Value()) }
 
 // DedupJoins returns the number of requests that joined an in-flight
 // solve.
-func (m *Metrics) DedupJoins() int64 { return m.dedupJoins.Load() }
+func (m *Metrics) DedupJoins() int64 { return int64(m.dedupJoins.Value()) }
 
 // bucketSnapshot is one cumulative histogram bucket, Prometheus-style.
 type bucketSnapshot struct {
@@ -106,7 +198,8 @@ type bucketSnapshot struct {
 	Count int64   `json:"count"`
 }
 
-// snapshot is the JSON document served at /metrics.
+// snapshot is the JSON document served at /metrics.json (the original
+// /metrics format, preserved for existing scrapers).
 type snapshot struct {
 	Requests     map[string]int64 `json:"requests"`
 	CacheHits    int64            `json:"cacheHits"`
@@ -123,35 +216,34 @@ type snapshot struct {
 	} `json:"solveLatency"`
 }
 
-// Snapshot returns a consistent-enough copy of every counter. Counters
-// are read individually (not under one lock), so a snapshot taken during
+// Snapshot returns a copy of every counter. The histogram portion is
+// one consistent snapshot (buckets, sum and count read under one lock);
+// the scalar counters are read individually, so a snapshot taken during
 // traffic may be off by in-flight increments — fine for monitoring.
 func (m *Metrics) Snapshot() any {
 	var s snapshot
 	s.Requests = make(map[string]int64)
-	m.mu.Lock()
-	for k, v := range m.requests {
-		s.Requests[k] = v
+	m.requests.Each(func(labelValues []string, value float64) {
+		s.Requests[labelValues[0]] = int64(value)
+	})
+	s.CacheHits = m.CacheHits()
+	s.CacheMisses = int64(m.cacheMisses.Value())
+	s.DedupJoins = m.DedupJoins()
+	s.Solves = m.Solves()
+	s.Rejected = int64(m.rejected.Value())
+	s.QueueDepth = m.QueueDepth()
+	h := m.solveLatency.Snapshot()
+	s.SolveLatency.Count = int64(h.Count)
+	s.SolveLatency.SumSecs = h.Sum
+	for i, le := range h.UpperBounds {
+		s.SolveLatency.Buckets = append(s.SolveLatency.Buckets,
+			bucketSnapshot{LE: le, Count: int64(h.Buckets[i])})
 	}
-	m.mu.Unlock()
-	s.CacheHits = m.cacheHits.Load()
-	s.CacheMisses = m.cacheMisses.Load()
-	s.DedupJoins = m.dedupJoins.Load()
-	s.Solves = m.solves.Load()
-	s.Rejected = m.rejected.Load()
-	s.QueueDepth = m.queueDepth.Load()
-	s.SolveLatency.Count = m.histCount.Load()
-	s.SolveLatency.SumSecs = float64(m.histSumNs.Load()) / 1e9
-	cum := int64(0)
-	for i, le := range latencyBuckets {
-		cum += m.histCounts[i].Load()
-		s.SolveLatency.Buckets = append(s.SolveLatency.Buckets, bucketSnapshot{LE: le, Count: cum})
-	}
-	s.SolveLatency.Inf = cum + m.histCounts[len(latencyBuckets)].Load()
+	s.SolveLatency.Inf = int64(h.Count)
 	return s
 }
 
-// ServeHTTP serves the snapshot as JSON (the /metrics handler).
+// ServeHTTP serves the snapshot as JSON (the /metrics.json handler).
 func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(m.Snapshot())

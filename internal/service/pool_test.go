@@ -34,7 +34,7 @@ func TestPoolQueueBackpressure(t *testing.T) {
 	<-running
 	// …fill the queue slot and wait until it is actually occupied…
 	go p.Do(context.Background(), func() (any, error) { return nil, nil })
-	waitFor(t, func() bool { return m.queueDepth.Load() == 1 })
+	waitFor(t, func() bool { return m.QueueDepth() == 1 })
 	// …then the next submission must be shed immediately.
 	if _, err := p.Do(context.Background(), func() (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
@@ -110,10 +110,10 @@ func TestPoolQueueDepthGauge(t *testing.T) {
 		close(done)
 	}()
 	// One task queued behind the blocked worker.
-	waitFor(t, func() bool { return m.queueDepth.Load() == 1 })
+	waitFor(t, func() bool { return m.QueueDepth() == 1 })
 	close(block)
 	<-done
-	waitFor(t, func() bool { return m.queueDepth.Load() == 0 })
+	waitFor(t, func() bool { return m.QueueDepth() == 0 })
 	p.Close()
 }
 

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -18,6 +20,7 @@ import (
 	"relpipe"
 	"relpipe/internal/cost"
 	"relpipe/internal/jobs"
+	"relpipe/internal/obs"
 	"relpipe/internal/progress"
 	"relpipe/internal/sim"
 )
@@ -58,6 +61,18 @@ type Options struct {
 	MaxJobs          int
 	MaxJobsPerClient int
 	JobTTL           time.Duration
+	// TraceCapacity bounds the in-memory trace recorder queryable at
+	// /debug/traces (default 256 most-recent traces; negative disables
+	// recording — spans become no-ops, X-Trace-Id still issued).
+	TraceCapacity int
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/
+	// (default off: the profiling surface stays private unless an
+	// operator opts in with cmd/serve's -pprof).
+	EnablePprof bool
+	// Logger receives one structured line per HTTP request (endpoint,
+	// status, latency, trace ID). nil disables request logging — tests
+	// and embedders stay quiet by default; cmd/serve always passes one.
+	Logger *slog.Logger
 	// SolverParallelism is the per-request parallelism budget handed to
 	// the solvers (relpipe.Options.Parallelism): how many goroutines one
 	// solve may use inside its worker slot. The default,
@@ -93,21 +108,26 @@ func (o Options) withDefaults() Options {
 	if o.MaxSearchBudget <= 0 {
 		o.MaxSearchBudget = 200000
 	}
+	if o.TraceCapacity == 0 {
+		o.TraceCapacity = 256
+	}
 	return o
 }
 
 // Server is the HTTP solver service. Create with NewServer, serve it as
 // an http.Handler, and Close it on shutdown to drain the worker pool.
 type Server struct {
-	opts    Options
-	pool    *Pool
-	cache   *Cache
-	flights *flightGroup
-	metrics *Metrics
-	jobs    *jobs.Engine
-	mux     *http.ServeMux
-	workers int
-	exec    execOpts
+	opts     Options
+	pool     *Pool
+	cache    *Cache
+	flights  *flightGroup
+	metrics  *Metrics
+	recorder *obs.Recorder
+	logger   *slog.Logger
+	jobs     *jobs.Engine
+	mux      *http.ServeMux
+	workers  int
+	exec     execOpts
 
 	shutdownOnce sync.Once
 	shutdownC    chan struct{} // closed by BeginShutdown; ends SSE streams
@@ -122,11 +142,20 @@ func NewServer(opts Options) *Server {
 		cache:     NewCache(opts.CacheSize),
 		flights:   newFlightGroup(),
 		metrics:   m,
+		logger:    opts.Logger,
 		shutdownC: make(chan struct{}),
+	}
+	if opts.TraceCapacity > 0 {
+		// A nil recorder is inert (spans no-op), so a negative capacity
+		// cleanly disables tracing without touching any call site.
+		s.recorder = obs.NewRecorder(opts.TraceCapacity)
+		m.RegisterTraceStats(s.recorder)
 	}
 	s.jobs = jobs.NewEngine(jobs.Options{
 		MaxJobs: opts.MaxJobs, MaxPerClient: opts.MaxJobsPerClient, TTL: opts.JobTTL,
 	})
+	m.RegisterCacheStats(s.cache)
+	m.RegisterJobStats(s.jobs)
 	s.workers = opts.Workers
 	if s.workers < 1 {
 		s.workers = runtime.GOMAXPROCS(0)
@@ -158,14 +187,25 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.Handle("GET /metrics", s.metrics)
+	mux.Handle("GET /metrics", m.Registry().Handler())
+	mux.Handle("GET /metrics.json", s.metrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if opts.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: the observability middleware
+// (trace + X-Trace-Id, HTTP metrics, request log — see trace.go) around
+// the route mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.serveObserved(w, r)
 }
 
 // Metrics exposes the server's counters (for tests and embedding).
@@ -331,26 +371,33 @@ func (s *Server) solveHandler(endpoint string, parse parser) http.HandlerFunc {
 			s.writeError(w, status, err)
 			return
 		}
-		out := s.process(endpoint, parse, body)
+		out := s.process(r.Context(), endpoint, parse, body)
 		s.writeOutcome(w, out)
 	}
 }
 
 // process runs one job (from a direct request or a batch item) through
-// metrics, parsing, the cache, the flight group, and the pool.
-func (s *Server) process(endpoint string, parse parser, body []byte) outcome {
+// metrics, parsing, the cache, the flight group, and the pool. ctx is
+// the request context, used only for observability (the trace the
+// middleware opened); cancellation deliberately does not flow into the
+// solve — see the detachment comment below.
+func (s *Server) process(ctx context.Context, endpoint string, parse parser, body []byte) outcome {
 	s.metrics.Request(endpoint)
 	key, solve, err := parse(body, s.exec)
 	if err != nil {
 		return errorOutcome(http.StatusBadRequest, err)
 	}
 	key = endpoint + "|" + key
-	if b, ok := s.cache.Get(key); ok {
+	t0 := time.Now()
+	b, ok := s.cache.Get(key)
+	obs.RecordSpan(ctx, "cache", t0, time.Now(), map[string]string{"hit": strconv.FormatBool(ok)})
+	if ok {
 		s.metrics.CacheHit()
 		return outcome{http.StatusOK, b}
 	}
 	s.metrics.CacheMiss()
 
+	flightStart := time.Now()
 	v, _, shared := s.flights.Do(key, func() (any, error) {
 		// The flight for this key may have landed between our cache miss
 		// and becoming leader; re-check so a late arrival serves the
@@ -366,10 +413,15 @@ func (s *Server) process(endpoint string, parse parser, body []byte) outcome {
 		// worker side: a solve that outlives the timeout (its waiter
 		// already got 504) still lands in the cache, so the next
 		// identical request is a hit instead of another doomed solve.
-		ctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+		// The leader's trace and the stage observer ride along on the
+		// detached context — observation only, never cancellation.
+		execCtx := obs.WithStageObserver(obs.CopyTrace(context.Background(), ctx), s.metrics.StageObserver())
+		waitCtx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
 		defer cancel()
-		val, err := s.pool.Do(ctx, func() (any, error) {
-			return s.solveToBytes(key, solve, solveCtx{})
+		enqueued := time.Now()
+		val, err := s.pool.Do(waitCtx, func() (any, error) {
+			obs.RecordSpan(execCtx, "queue.wait", enqueued, time.Now(), nil)
+			return s.solveToBytes(key, solve, solveCtx{ctx: execCtx})
 		})
 		if err != nil {
 			return errorOutcome(statusFor(err), err), nil
@@ -378,6 +430,7 @@ func (s *Server) process(endpoint string, parse parser, body []byte) outcome {
 	})
 	if shared {
 		s.metrics.DedupJoin()
+		obs.RecordSpan(ctx, "dedup.wait", flightStart, time.Now(), nil)
 	}
 	out := v.(outcome)
 	if out.status == http.StatusTooManyRequests {
@@ -394,11 +447,18 @@ func (s *Server) process(endpoint string, parse parser, body []byte) outcome {
 // entry. A failed (or cancelled) solve caches nothing.
 func (s *Server) solveToBytes(key string, solve solveFunc, sc solveCtx) ([]byte, error) {
 	s.metrics.Solve()
+	spanCtx, sp := obs.StartSpan(sc.context(), "solve")
+	sc.ctx = spanCtx // solver stages nest under the solve span
 	v, err := solve(sc)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return nil, err
 	}
+	sp.End()
+	t0 := time.Now()
 	b, err := json.Marshal(v)
+	obs.RecordSpan(sc.ctx, "marshal", t0, time.Now(), nil)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errEncodeResponse, err)
 	}
@@ -431,8 +491,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx := r.Context()
 	results := s.runBatchItems(req.Jobs, func(kind string, parse parser, body []byte) outcome {
-		return s.process(kind, parse, body)
+		return s.process(ctx, kind, parse, body)
 	}, nil)
 	s.writeJSON(w, http.StatusOK, relpipe.BatchResponse{Results: results})
 }

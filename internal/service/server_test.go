@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"relpipe"
+	"relpipe/internal/obs"
 )
 
 // testInstance is a small homogeneous instance every endpoint can solve
@@ -285,7 +287,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	s, ts := newTestServer(t, Options{})
 	postJSON(t, ts.URL+"/v1/optimize", relpipe.OptimizeRequest{Instance: testInstance(8), Method: "dp"}, nil)
 	postJSON(t, ts.URL+"/v1/optimize", relpipe.OptimizeRequest{Instance: testInstance(8), Method: "dp"}, nil)
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,13 +374,13 @@ func TestQueueFullIs429WithRetryAfter(t *testing.T) {
 			return relpipe.ErrorResponse{}, nil
 		}, nil
 	}
-	go s.process("test", blocking, []byte("A")) // occupies the worker
+	go s.process(context.Background(), "test", blocking, []byte("A")) // occupies the worker
 	<-started
 	done := make(chan outcome, 1)
-	go func() { done <- s.process("test", blocking, []byte("B")) }() // fills the queue
-	waitFor(t, func() bool { return s.metrics.queueDepth.Load() == 1 })
+	go func() { done <- s.process(context.Background(), "test", blocking, []byte("B")) }() // fills the queue
+	waitFor(t, func() bool { return s.metrics.QueueDepth() == 1 })
 
-	out := s.process("test", blocking, []byte("C")) // must be shed
+	out := s.process(context.Background(), "test", blocking, []byte("C")) // must be shed
 	if out.status != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", out.status)
 	}
@@ -491,7 +493,7 @@ func TestTimedOutSolveStillCaches(t *testing.T) {
 			return map[string]int{"x": 1}, nil
 		}, nil
 	}
-	if out := s.process("slow", slow, nil); out.status != http.StatusGatewayTimeout {
+	if out := s.process(context.Background(), "slow", slow, nil); out.status != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504", out.status)
 	}
 	<-done // the abandoned solve has finished; its Put follows at once
@@ -502,7 +504,7 @@ func TestTimedOutSolveStillCaches(t *testing.T) {
 			return nil, nil
 		}, nil
 	}
-	if out := s.process("slow", fail, nil); out.status != http.StatusOK {
+	if out := s.process(context.Background(), "slow", fail, nil); out.status != http.StatusOK {
 		t.Fatalf("repeat status = %d, want 200 from cache", out.status)
 	}
 	if got := s.Metrics().Solves(); got != 1 {
@@ -536,7 +538,12 @@ func TestCanonicalHashStability(t *testing.T) {
 }
 
 func TestHistogramBucketConstant(t *testing.T) {
-	if numBuckets != len(latencyBuckets) {
-		t.Fatalf("numBuckets = %d, len(latencyBuckets) = %d", numBuckets, len(latencyBuckets))
+	if len(latencyBuckets) != len(obs.DefBuckets) {
+		t.Fatalf("len(latencyBuckets) = %d, len(obs.DefBuckets) = %d", len(latencyBuckets), len(obs.DefBuckets))
+	}
+	for i, b := range latencyBuckets {
+		if b != obs.DefBuckets[i] {
+			t.Fatalf("latencyBuckets[%d] = %v, obs.DefBuckets[%d] = %v", i, b, i, obs.DefBuckets[i])
+		}
 	}
 }

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"math"
 
+	"time"
+
+	"relpipe/internal/obs"
 	"relpipe/internal/par"
 	"relpipe/internal/progress"
 	"relpipe/internal/rng"
@@ -51,6 +54,7 @@ func RunBatch(ctx context.Context, cfg Config, replications, parallelism int) (B
 		seeds[r] = master.Uint64()
 	}
 	reps := progress.NewCounter(int64(replications), cfg.Progress)
+	batchStart := time.Now()
 	runs, err := par.Map(ctx, parallelism, replications, func(r int) (Result, error) {
 		c := cfg
 		c.Seed = seeds[r]
@@ -64,6 +68,7 @@ func RunBatch(ctx context.Context, cfg Config, replications, parallelism int) (B
 	if err != nil {
 		return BatchResult{}, err
 	}
+	obs.Stage(ctx, "sim.batch", batchStart, int64(replications), nil)
 	return BatchResult{Runs: runs, Seeds: seeds}, nil
 }
 

@@ -8,20 +8,30 @@
 //
 // Usage:
 //
-//	bench [-quick] [-o BENCH_pr.json] [-minspeedup 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	bench -check -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.20] [-allocthreshold 0.20]
+//	bench [-quick] [-o BENCH_pr.json] [-minspeedup 0] [-mindeltaspeedup 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	bench -check -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.20] [-allocthreshold 0.20] [-summary $GITHUB_STEP_SUMMARY]
 //
 // Every entry also records allocs/op and B/op (ReadMemStats deltas, the
 // -benchmem counterpart); -check gates allocs/op at -allocthreshold.
 // -cpuprofile/-memprofile write pprof profiles of the measurement run —
 // CI uploads them as artifacts so a regression comes with its profile
-// attached.
+// attached. -summary (with -check) appends the comparison as a markdown
+// table to the given file, which CI points at $GITHUB_STEP_SUMMARY so a
+// flagged regression is readable without downloading artifacts.
 //
 // -minspeedup X fails the run when the exact-enumeration or Monte-Carlo
 // P=8/P=1 speedup falls below X on a machine with ≥ 4 cores (skipped,
 // with a notice, on smaller machines where the speedup cannot appear).
 // This is how CI gates the *parallel* kernels, whose absolute ns/op is
 // not comparable to a baseline recorded on different core counts.
+//
+// -mindeltaspeedup X fails the run when the search engine's incremental
+// evaluator scores a move less than X times faster than the
+// full-evaluation reference oracle (the search-optimize-delta vs
+// search-optimize-full kernels: the same pinned neighbor cycle scored
+// through mapping.Evaluator and through EvaluateUnchecked, both
+// single-threaded in the same run — so the floor is machine-class
+// independent and never skipped).
 //
 // Every instance generator is seeded from a fixed rng seed, so two runs
 // on the same machine measure identical work. To compare across machines
@@ -53,6 +63,7 @@ import (
 	"relpipe/internal/exact"
 	"relpipe/internal/frontier"
 	"relpipe/internal/heur"
+	"relpipe/internal/interval"
 	"relpipe/internal/mapping"
 	"relpipe/internal/platform"
 	"relpipe/internal/rng"
@@ -193,6 +204,119 @@ func searchBench(parallelism int) func(sz sizes) func() {
 	}
 }
 
+// evalNeighbor is one pinned proposal of the eval-path kernels: a valid
+// neighbor mapping plus the Touched descriptor the anneal loop would
+// hand the incremental evaluator for it.
+type evalNeighbor struct {
+	m mapping.Mapping
+	t mapping.Touched
+}
+
+// evalPathSetup pins the scoring workload of the search hot loop on
+// searchBench's 100-stage heterogeneous instance: a 15-interval base
+// mapping and one neighbor per portfolio neighborhood (boundary shift,
+// replica swap, merge, split, add, drop, steal).
+func evalPathSetup() (chain.Chain, platform.Platform, mapping.Mapping, []evalNeighbor) {
+	r := rng.New(42)
+	c := chain.PaperRandom(r, 100)
+	pl := platform.PaperHeterogeneous(r, 30)
+
+	// 10 intervals of 7 tasks + 5 of 6; doubled replicas on the first
+	// ten, so processors 0..24 serve and 25..29 idle in the pool.
+	parts := make(interval.Partition, 0, 15)
+	counts := make([]int, 0, 15)
+	first := 0
+	for j := 0; j < 15; j++ {
+		size, reps := 7, 2
+		if j >= 10 {
+			size, reps = 6, 1
+		}
+		parts = append(parts, interval.Interval{First: first, Last: first + size - 1})
+		counts = append(counts, reps)
+		first += size
+	}
+	base := mapping.AssignSequential(parts, counts)
+
+	var nbs []evalNeighbor
+	add := func(nm mapping.Mapping, t mapping.Touched) {
+		if err := nm.Validate(c, pl); err != nil {
+			panic(fmt.Sprintf("eval-path bench: invalid neighbor: %v", err))
+		}
+		nbs = append(nbs, evalNeighbor{nm, t})
+	}
+	nm := base.Clone() // boundary shift between intervals 7 and 8
+	nm.Parts[7].Last++
+	nm.Parts[8].First++
+	add(nm, mapping.TouchTwo(7, 8))
+	nm = base.Clone() // swap a replica of interval 3 for pool processor 25
+	nm.Procs[3][1] = 25
+	add(nm, mapping.TouchOne(3))
+	nm = base.Clone() // merge intervals 10 and 11
+	nm.Parts[10].Last = nm.Parts[11].Last
+	nm.Parts = append(nm.Parts[:11], nm.Parts[12:]...)
+	nm.Procs[10] = append(nm.Procs[10], nm.Procs[11]...)
+	nm.Procs = append(nm.Procs[:11], nm.Procs[12:]...)
+	add(nm, mapping.TouchMerge(10))
+	nm = base.Clone() // split interval 2, right half staffed by processor 26
+	cut := nm.Parts[2].First + 3
+	np := append(interval.Partition{}, nm.Parts[:2]...)
+	np = append(np, interval.Interval{First: nm.Parts[2].First, Last: cut},
+		interval.Interval{First: cut + 1, Last: nm.Parts[2].Last})
+	np = append(np, nm.Parts[3:]...)
+	pr := append([][]int{}, nm.Procs[:3]...)
+	pr = append(pr, []int{26})
+	pr = append(pr, nm.Procs[3:]...)
+	nm.Parts, nm.Procs = np, pr
+	add(nm, mapping.TouchSplit(2))
+	nm = base.Clone() // add pool processor 27 as a third replica of interval 5
+	nm.Procs[5] = append(nm.Procs[5], 27)
+	add(nm, mapping.TouchOne(5))
+	nm = base.Clone() // drop the second replica of interval 9
+	nm.Procs[9] = nm.Procs[9][:1]
+	add(nm, mapping.TouchOne(9))
+	nm = base.Clone() // steal a replica of interval 8 for interval 14
+	u := nm.Procs[8][1]
+	nm.Procs[8] = nm.Procs[8][:1]
+	nm.Procs[14] = append(nm.Procs[14], u)
+	add(nm, mapping.TouchTwo(8, 14))
+	return c, pl, base, nbs
+}
+
+// searchEvalBench measures the scoring path of the anneal hot loop in
+// isolation: one op scores the same pinned seven-neighbor cycle either
+// through the incremental evaluator (Apply + Revert against a committed
+// base mapping, exactly the hot loop's reject path) or through the
+// full-evaluation reference oracle the engine uses under
+// Options.ReferenceEval. Both kernels score identical (mapping, move)
+// pairs, so their ns/op ratio is the per-evaluation speedup of the
+// incremental path — the "search-optimize-delta" entry in Speedups that
+// -mindeltaspeedup gates, so the delta path cannot silently rot back to
+// full-pass cost. End-to-end Optimize throughput is covered separately
+// by the search-optimize kernels, where the shared seed/propose
+// machinery dilutes this ratio.
+func searchEvalBench(delta bool) func(sz sizes) func() {
+	return func(sz sizes) func() {
+		c, pl, base, nbs := evalPathSetup()
+		if delta {
+			ev := mapping.NewEvaluator(c, pl)
+			ev.Init(base)
+			return func() {
+				for i := range nbs {
+					e := ev.Apply(nbs[i].m, nbs[i].t)
+					sink += e.LogRel
+					ev.Revert()
+				}
+			}
+		}
+		return func() {
+			for i := range nbs {
+				e := mapping.EvaluateUnchecked(c, pl, nbs[i].m)
+				sink += e.LogRel
+			}
+		}
+	}
+}
+
 // adaptBench measures the online-adaptation hot path: a batch of
 // lifetime replications under the remap policy, each replication
 // running several warm-started search re-optimizations on a fixed
@@ -263,6 +387,8 @@ var benchmarks = []benchmark{
 	{"frontier/P=8", []string{tagHotPath}, frontierBench(8)},
 	{"search-optimize/P=1", []string{tagHotPath}, searchBench(1)},
 	{"search-optimize/P=8", []string{tagHotPath}, searchBench(8)},
+	{"search-optimize-delta", []string{tagHotPath}, searchEvalBench(true)},
+	{"search-optimize-full", []string{tagHotPath}, searchEvalBench(false)},
 	{"adapt-remap/P=1", []string{tagHotPath}, adaptBench(1)},
 	{"adapt-remap/P=8", []string{tagHotPath}, adaptBench(8)},
 	{"dp-reliability", []string{tagHotPath}, func(sz sizes) func() {
@@ -365,6 +491,16 @@ func runBenchmarks(quick bool) File {
 			fmt.Printf("speedup %-16s %.2fx (P=8 vs P=1, GOMAXPROCS=%d)\n", base, p1/p8, f.GoMaxProcs)
 		}
 	}
+	// The incremental evaluator's advantage over the full-eval oracle:
+	// same run, same single-threaded pinned instance, so the ratio is
+	// machine-class independent and -mindeltaspeedup can gate it hard.
+	if d, okD := byName["search-optimize-delta"]; okD && d > 0 {
+		if fl, okF := byName["search-optimize-full"]; okF {
+			f.Speedups["search-optimize-delta"] = fl / d
+			fmt.Printf("speedup %-16s %.2fx (incremental vs full evaluation)\n",
+				"search-optimize-delta", fl/d)
+		}
+	}
 	return f
 }
 
@@ -438,6 +574,25 @@ func isParallel(name string) bool {
 // follow the same advisory downgrade as ns/op findings across machine
 // classes. Returns the number of enforced failures.
 func check(baseline, current File, threshold, allocThreshold float64, out *os.File) int {
+	n, _ := checkRows(baseline, current, threshold, allocThreshold, out)
+	return n
+}
+
+// summaryRow is one kernel's comparison, kept for the -summary
+// markdown rendering alongside check's plain-text report.
+type summaryRow struct {
+	name                  string
+	status                string // ok / REGRESSION / ALLOC-REG / SKIP / MISSING
+	baseNs, curNs         float64
+	nsRatio               float64 // calibration-normalized; 0 when not compared
+	baseAllocs, curAllocs float64
+	allocRatio            float64 // 0 when the alloc gate was skipped
+	advisory              bool
+}
+
+// checkRows is check plus the per-kernel rows the -summary table
+// renders.
+func checkRows(baseline, current File, threshold, allocThreshold float64, out *os.File) (int, []summaryRow) {
 	calB, calC := calibrationPair(baseline, current, out)
 	fmt.Fprintf(out, "baseline: %s/%s GOMAXPROCS=%d %s\n",
 		baseline.GoOS, baseline.GoArch, baseline.GoMaxProcs, baseline.GoVersion)
@@ -455,11 +610,13 @@ func check(baseline, current File, threshold, allocThreshold float64, out *os.Fi
 	for _, e := range current.Benchmarks {
 		cur[e.Name] = e
 	}
+	var rows []summaryRow
 	failures, missing := 0, 0
 	for _, base := range baseline.Benchmarks {
 		if !slices.Contains(base.Tags, tagHotPath) {
 			continue
 		}
+		row := summaryRow{name: base.Name, baseNs: base.NsPerOp, baseAllocs: base.AllocsPerOp, advisory: coresDiffer}
 		e, ok := cur[base.Name]
 		if !ok {
 			// Machine-class independent: a renamed or deleted kernel
@@ -467,36 +624,97 @@ func check(baseline, current File, threshold, allocThreshold float64, out *os.Fi
 			// silently emptied.
 			fmt.Fprintf(out, "MISSING    %-24s baseline kernel absent from current run\n", base.Name)
 			missing++
+			row.status, row.advisory = "MISSING", false
+			rows = append(rows, row)
 			continue
 		}
+		row.curNs, row.curAllocs = e.NsPerOp, e.AllocsPerOp
 		if coresDiffer && isParallel(base.Name) {
 			fmt.Fprintf(out, "SKIP       %-24s parallel benchmark, core counts differ\n", base.Name)
+			row.status = "SKIP"
+			rows = append(rows, row)
 			continue
 		}
 		ratio := (e.NsPerOp / calC) / (base.NsPerOp / calB)
+		row.nsRatio = ratio
 		status := "ok"
 		if ratio > 1+threshold {
 			status = "REGRESSION"
 			failures++
 		}
+		row.status = status
 		fmt.Fprintf(out, "%-10s %-24s %12.0f -> %12.0f ns/op  normalized %.2fx\n",
 			status, base.Name, base.NsPerOp, e.NsPerOp, ratio)
 		if base.AllocsPerOp > 0 && e.AllocsPerOp > 0 {
 			aratio := e.AllocsPerOp / base.AllocsPerOp
+			row.allocRatio = aratio
 			astatus := "ok"
 			if aratio > 1+allocThreshold {
 				astatus = "ALLOC-REG"
 				failures++
+				if row.status == "ok" {
+					row.status = "ALLOC-REG"
+				}
 			}
 			fmt.Fprintf(out, "%-10s %-24s %12.0f -> %12.0f allocs/op  %.2fx\n",
 				astatus, base.Name, base.AllocsPerOp, e.AllocsPerOp, aratio)
 		}
+		rows = append(rows, row)
 	}
 	if coresDiffer && failures > 0 {
 		fmt.Fprintf(out, "ADVISORY: %d regression finding(s) not enforced across machine classes\n", failures)
 		failures = 0
 	}
-	return failures + missing
+	return failures + missing, rows
+}
+
+// writeSummary appends a GitHub-flavored markdown table of the -check
+// comparison to path (typically $GITHUB_STEP_SUMMARY), so a flagged
+// regression is readable from the job page without downloading
+// artifacts. Advisory rows — findings not enforced because the baseline
+// came from another machine class — are marked as such.
+func writeSummary(path string, baseline, current File, rows []summaryRow) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Benchmark gate: baseline vs PR\n\n")
+	fmt.Fprintf(&b, "Baseline: `%s/%s` GOMAXPROCS=%d %s — PR: `%s/%s` GOMAXPROCS=%d %s\n\n",
+		baseline.GoOS, baseline.GoArch, baseline.GoMaxProcs, baseline.GoVersion,
+		current.GoOS, current.GoArch, current.GoMaxProcs, current.GoVersion)
+	advisory := false
+	b.WriteString("| Kernel | ns/op (base → PR) | Δ ns/op | allocs/op (base → PR) | Δ allocs | Status |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		ns := fmt.Sprintf("%.0f → %.0f", r.baseNs, r.curNs)
+		dNs, dAllocs, allocs := "–", "–", "–"
+		if r.nsRatio > 0 {
+			dNs = fmt.Sprintf("%+.1f%%", (r.nsRatio-1)*100)
+		}
+		if r.baseAllocs > 0 && r.curAllocs > 0 {
+			allocs = fmt.Sprintf("%.0f → %.0f", r.baseAllocs, r.curAllocs)
+		}
+		if r.allocRatio > 0 {
+			dAllocs = fmt.Sprintf("%+.1f%%", (r.allocRatio-1)*100)
+		}
+		status := map[string]string{
+			"ok": "✅ ok", "REGRESSION": "❌ regression", "ALLOC-REG": "❌ alloc regression",
+			"SKIP": "⏭️ skipped (machine class)", "MISSING": "❌ missing kernel",
+		}[r.status]
+		if r.advisory && (r.status == "REGRESSION" || r.status == "ALLOC-REG") {
+			status += " (advisory)"
+			advisory = true
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s | %s |\n", r.name, ns, dNs, allocs, dAllocs, status)
+	}
+	if advisory {
+		b.WriteString("\nAdvisory rows are not enforced: the baseline's machine class (GOMAXPROCS) differs from the runner's, so calibration does not transfer. Regenerate `BENCH_baseline.json` on the runner class to arm the hard gate.\n")
+	}
+	b.WriteString("\nΔ ns/op is calibration-normalized (see `cmd/bench`).\n")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(b.String())
+	return err
 }
 
 // speedupGated lists the kernels whose P=8/P=1 speedup -minspeedup
@@ -529,11 +747,37 @@ func checkSpeedups(f File, minSpeedup float64, out *os.File) int {
 	return failures
 }
 
+// checkDeltaSpeedup enforces the -mindeltaspeedup floor on the
+// incremental evaluator's advantage over the full-eval oracle
+// (Speedups["search-optimize-delta"]). Both kernels are single-threaded
+// and measured in the same run on the same pinned instance, so unlike
+// -minspeedup the floor holds on any machine class — no core-count
+// skip. Returns 1 on a violation or a missing ratio, 0 otherwise.
+func checkDeltaSpeedup(f File, floor float64, out *os.File) int {
+	if floor <= 0 {
+		return 0
+	}
+	s, ok := f.Speedups["search-optimize-delta"]
+	if !ok {
+		fmt.Fprintln(out, "mindeltaspeedup: search-optimize-delta ratio missing from this run")
+		return 1
+	}
+	if s < floor {
+		fmt.Fprintf(out, "mindeltaspeedup: incremental-vs-full speedup %.2fx below floor %.2fx\n", s, floor)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced workloads (the CI gate's configuration)")
 	out := flag.String("o", "", "write results as JSON to this file")
 	minSpeedup := flag.Float64("minspeedup", 0,
 		"fail when the exact-enumeration or Monte-Carlo P=8/P=1 speedup is below this on a >=4-core machine (0 disables)")
+	minDeltaSpeedup := flag.Float64("mindeltaspeedup", 0,
+		"fail when the search incremental-vs-full evaluation speedup is below this (0 disables; machine-class independent)")
+	summaryPath := flag.String("summary", "",
+		"with -check: append a markdown comparison table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	doCheck := flag.Bool("check", false, "compare -current against -baseline instead of running")
 	basePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON for -check")
 	curPath := flag.String("current", "BENCH_pr.json", "current JSON for -check")
@@ -554,7 +798,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		if n := check(baseline, current, *threshold, *allocThreshold, os.Stdout); n > 0 {
+		n, rows := checkRows(baseline, current, *threshold, *allocThreshold, os.Stdout)
+		if *summaryPath != "" {
+			if err := writeSummary(*summaryPath, baseline, current, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+		}
+		if n > 0 {
 			fmt.Fprintf(os.Stderr, "bench: %d hot-path regression(s) beyond the thresholds\n", n)
 			os.Exit(1)
 		}
@@ -596,7 +847,7 @@ func main() {
 		mf.Close()
 		fmt.Printf("wrote %s\n", *memProfile)
 	}
-	failures := checkSpeedups(f, *minSpeedup, os.Stdout)
+	failures := checkSpeedups(f, *minSpeedup, os.Stdout) + checkDeltaSpeedup(f, *minDeltaSpeedup, os.Stdout)
 	if *out != "" {
 		b, err := json.MarshalIndent(f, "", "  ")
 		if err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -215,5 +216,66 @@ func TestQuickRunSmoke(t *testing.T) {
 		if ns <= 0 || iters < 1 {
 			t.Fatalf("%s: ns=%g iters=%d", b.name, ns, iters)
 		}
+	}
+}
+
+// TestCheckDeltaSpeedup: the incremental-vs-full evaluation floor is
+// machine-class independent — no core-count skip — and a missing ratio
+// fails rather than silently passing.
+func TestCheckDeltaSpeedup(t *testing.T) {
+	mk := func(s float64) File {
+		return File{GoMaxProcs: 1, Speedups: map[string]float64{"search-optimize-delta": s}}
+	}
+	if n := checkDeltaSpeedup(mk(1.2), 0, os.Stdout); n != 0 {
+		t.Fatalf("disabled: %d failures", n)
+	}
+	if n := checkDeltaSpeedup(mk(8.5), 3.0, os.Stdout); n != 0 {
+		t.Fatalf("healthy: %d failures", n)
+	}
+	// A single core does NOT skip this gate (both kernels are
+	// single-threaded in the same run).
+	if n := checkDeltaSpeedup(mk(1.9), 3.0, os.Stdout); n != 1 {
+		t.Fatalf("below floor: %d failures, want 1", n)
+	}
+	if n := checkDeltaSpeedup(File{GoMaxProcs: 1, Speedups: map[string]float64{}}, 3.0, os.Stdout); n != 1 {
+		t.Fatalf("missing ratio: %d failures, want 1", n)
+	}
+}
+
+// TestWriteSummary renders the markdown table the CI bench job appends
+// to $GITHUB_STEP_SUMMARY and checks the load-bearing pieces: one row
+// per kernel, regression marking, and alloc columns degrading to "–"
+// when a kernel has no alloc data.
+func TestWriteSummary(t *testing.T) {
+	base := benchFile(100, 1000)
+	cur := benchFile(100, 1500)
+	_, rows := checkRows(base, cur, 0.20, 0.20, os.Stdout)
+	path := t.TempDir() + "/summary.md"
+	if err := writeSummary(path, base, cur, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(got)
+	for _, want := range []string{
+		"### Benchmark gate: baseline vs PR",
+		"| `exact-profiles/P=1` |",
+		"1000 → 1500",
+		"❌", // the 50% regression must be visibly marked
+		"–", // benchFile carries no alloc data
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// writeSummary appends — a second call must not clobber the first.
+	if err := writeSummary(path, base, cur, rows); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := os.ReadFile(path)
+	if len(got2) <= len(got) {
+		t.Fatalf("second writeSummary did not append: %d -> %d bytes", len(got), len(got2))
 	}
 }

@@ -103,6 +103,24 @@ func GreedyHet(c chain.Chain, pl platform.Platform, parts interval.Partition, pe
 		in[j] = parts.In(c, j)
 		out[j] = parts.Out(c, j)
 	}
+	// The boundary-communication legs of a replica's failure probability
+	// depend only on the interval, so their log-reliabilities hoist out
+	// of the O(p·m) scoring loops; replicaFail folds them with the
+	// processor-dependent compute leg in exactly ReplicaFailProb's
+	// Serial order (fIn, fComp, fOut), so its value is bit-identical and
+	// every greedy comparison below is unchanged. The search seed phase
+	// calls GreedyHet once per interval count, which made these
+	// transcendentals its dominant cost.
+	lIn := make([]float64, m)
+	lOut := make([]float64, m)
+	for j := range parts {
+		lIn[j] = failure.LogRel(failure.Prob(pl.LinkFailRate, pl.CommTime(in[j])))
+		lOut[j] = failure.LogRel(failure.Prob(pl.LinkFailRate, pl.CommTime(out[j])))
+	}
+	replicaFail := func(j, u int) float64 {
+		fComp := failure.Prob(pl.Procs[u].FailRate, pl.ComputeTime(u, work[j]))
+		return -math.Expm1(lIn[j] + failure.LogRel(fComp) + lOut[j])
+	}
 	feasible := func(j, u int) bool {
 		if periodBound > 0 && pl.ComputeTime(u, work[j]) > periodBound {
 			return false
@@ -128,8 +146,10 @@ func GreedyHet(c chain.Chain, pl platform.Platform, parts interval.Partition, pe
 
 	procsOf := make([][]int, m)
 	stageFail := make([]float64, m)
+	logRelStage := make([]float64, m) // memoized failure.LogRel(stageFail[j])
 	for j := range stageFail {
 		stageFail[j] = 1
+		logRelStage[j] = failure.LogRel(1)
 	}
 	seeded := 0
 	used := make([]bool, p)
@@ -152,7 +172,8 @@ func GreedyHet(c chain.Chain, pl platform.Platform, parts interval.Partition, pe
 			continue // this processor cannot seed anything; maybe a later one can
 		}
 		procsOf[best] = append(procsOf[best], u)
-		stageFail[best] = mapping.ReplicaFailProb(pl, u, work[best], in[best], out[best])
+		stageFail[best] = replicaFail(best, u)
+		logRelStage[best] = failure.LogRel(stageFail[best])
 		used[u] = true
 		seeded++
 	}
@@ -166,22 +187,29 @@ func GreedyHet(c chain.Chain, pl platform.Platform, parts interval.Partition, pe
 		if used[u] {
 			continue
 		}
-		best, bestGain := -1, math.Inf(-1)
+		best, bestGain, bestF := -1, math.Inf(-1), 1.0
 		for j := 0; j < m; j++ {
-			if len(procsOf[j]) >= k || !feasible(j, u) {
+			// -logRelStage[j] bounds the gain of ANY replica for j (it
+			// is the gain of driving the stage's failure to zero, and
+			// log1p(-stageFail*f) <= 0 makes the computed gain <= the
+			// computed bound, rounding included) — so intervals whose
+			// bound cannot beat the running best skip the scoring
+			// transcendentals without ever changing the argmax.
+			if len(procsOf[j]) >= k || -logRelStage[j] <= bestGain || !feasible(j, u) {
 				continue
 			}
-			f := mapping.ReplicaFailProb(pl, u, work[j], in[j], out[j])
-			gain := failure.LogRel(stageFail[j]*f) - failure.LogRel(stageFail[j])
+			f := replicaFail(j, u)
+			gain := failure.LogRel(stageFail[j]*f) - logRelStage[j]
 			if gain > bestGain {
-				best, bestGain = j, gain
+				best, bestGain, bestF = j, gain, f
 			}
 		}
 		if best < 0 {
 			continue // nothing accepts this processor
 		}
 		procsOf[best] = append(procsOf[best], u)
-		stageFail[best] *= mapping.ReplicaFailProb(pl, u, work[best], in[best], out[best])
+		stageFail[best] *= bestF
+		logRelStage[best] = failure.LogRel(stageFail[best])
 		used[u] = true
 	}
 

@@ -277,35 +277,56 @@ func MinPeriodForReliabilityPar(ctx context.Context, c chain.Chain, pl platform.
 // HeurLPartition implements Algorithm 3: the partition of c into m
 // intervals that cuts the chain after the m-1 tasks with the smallest
 // output communication costs (ties broken towards earlier tasks),
-// minimizing the total communication charged to the latency.
+// minimizing the total communication charged to the latency. Callers
+// that need partitions for several interval counts of one chain should
+// build a HeurLTable once instead.
 func HeurLPartition(c chain.Chain, m int) (interval.Partition, error) {
+	return NewHeurLTable(c).Partition(m)
+}
+
+// HeurLTable caches Algorithm 3's communication ordering — the only
+// m-independent work of HeurLPartition — so partitions for every
+// interval count of one chain reuse a single O(n log n) sort. The
+// (cost, index) comparator is a strict total order, so the ordering is
+// unique and every Partition(m) is bit-identical to HeurLPartition's.
+type HeurLTable struct {
+	n      int
+	byCost []int // task indices 0..n-2, cheapest output first
+}
+
+// NewHeurLTable sorts the candidate cut points of c once.
+func NewHeurLTable(c chain.Chain) *HeurLTable {
 	n := len(c)
-	if m < 1 || m > n {
+	t := &HeurLTable{n: n}
+	if n < 2 {
+		return t
+	}
+	t.byCost = make([]int, n-1)
+	for i := range t.byCost {
+		t.byCost[i] = i
+	}
+	sort.Slice(t.byCost, func(a, b int) bool {
+		oa, ob := c.Out(t.byCost[a]), c.Out(t.byCost[b])
+		if oa != ob {
+			return oa < ob
+		}
+		return t.byCost[a] < t.byCost[b]
+	})
+	return t
+}
+
+// Partition returns the Algorithm 3 partition into m intervals.
+func (t *HeurLTable) Partition(m int) (interval.Partition, error) {
+	if m < 1 || m > t.n {
 		return nil, errors.New("dp: interval count out of range")
 	}
 	if m == 1 {
-		return interval.Single(n), nil
+		return interval.Single(t.n), nil
 	}
-	type comm struct {
-		idx int
-		o   float64
-	}
-	cs := make([]comm, n-1)
-	for i := 0; i < n-1; i++ {
-		cs[i] = comm{idx: i, o: c.Out(i)}
-	}
-	sort.Slice(cs, func(a, b int) bool {
-		if cs[a].o != cs[b].o {
-			return cs[a].o < cs[b].o
-		}
-		return cs[a].idx < cs[b].idx
-	})
 	ends := make([]int, 0, m)
-	for _, cm := range cs[:m-1] {
-		ends = append(ends, cm.idx)
-	}
+	ends = append(ends, t.byCost[:m-1]...)
 	sort.Ints(ends)
-	ends = append(ends, n-1)
+	ends = append(ends, t.n-1)
 	return interval.FromEnds(ends), nil
 }
 
@@ -313,52 +334,108 @@ func HeurLPartition(c chain.Chain, m int) (interval.Partition, error) {
 // intervals minimizing the worst-case period max_j max(W_j/speed,
 // o_{l_j}/bandwidth), computed by dynamic programming in O(n²m).
 // speed and bandwidth scale compute and communication terms; pass 1, 1
-// for the paper's unit-cost formulation.
+// for the paper's unit-cost formulation. Callers that need partitions
+// for several interval counts of one chain should build a HeurPTable
+// once instead.
 func HeurPPartition(c chain.Chain, m int, speed, bandwidth float64) (interval.Partition, error) {
+	t, err := NewHeurPTable(c, m, speed, bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	return t.Partition(m)
+}
+
+// HeurPTable is Algorithm 4's dynamic program solved once for every
+// interval count up to maxM. The recurrence for k intervals only reads
+// the k-1 column — never the target count — so a single O(n²·maxM)
+// build serves every m ≤ maxM, with each Partition(m) bit-identical to
+// a fresh HeurPPartition(c, m, speed, bandwidth) run. The search seed
+// pool samples ~25 interval counts per instance; sharing the table
+// removes the per-count DP rebuild that used to dominate its cost.
+type HeurPTable struct {
+	n, maxM int
+	// g[j][k] = minimal period of the first j tasks split into k
+	// intervals; cut[j][k] = size of the prefix before the last interval.
+	g   [][]float64
+	cut [][]int
+}
+
+// NewHeurPTable builds the shared Heur-P table for interval counts
+// 1..maxM.
+func NewHeurPTable(c chain.Chain, maxM int, speed, bandwidth float64) (*HeurPTable, error) {
 	n := len(c)
-	if m < 1 || m > n {
+	if maxM < 1 || maxM > n {
 		return nil, errors.New("dp: interval count out of range")
 	}
 	if speed <= 0 || bandwidth <= 0 {
 		return nil, errors.New("dp: non-positive speed or bandwidth")
 	}
 	pre := chain.NewPrefix(c)
-	// G[j][k] = minimal period of the first j tasks split into k
-	// intervals; cut[j][k] = size of the prefix before the last interval.
-	G := make([][]float64, n+1)
+	g := make([][]float64, n+1)
 	cut := make([][]int, n+1)
-	for j := range G {
-		G[j] = make([]float64, m+1)
-		cut[j] = make([]int, m+1)
-		for kk := range G[j] {
-			G[j][kk] = math.Inf(1)
+	for j := range g {
+		g[j] = make([]float64, maxM+1)
+		cut[j] = make([]int, maxM+1)
+		for kk := range g[j] {
+			g[j][kk] = math.Inf(1)
 			cut[j][kk] = -1
 		}
 	}
-	G[0][0] = 0
+	g[0][0] = 0
 	for j := 1; j <= n; j++ {
 		outT := c.Out(j-1) / bandwidth
-		for kk := 1; kk <= m && kk <= j; kk++ {
-			for jp := kk - 1; jp < j; jp++ {
-				if math.IsInf(G[jp][kk-1], 1) {
+		gj, cutj := g[j], cut[j]
+		// The last interval's load max(W/speed, outT) is independent of
+		// the interval count, so the jp loop is outermost and the load
+		// hoisted. For each fixed (j, kk) cell the jp candidates still
+		// arrive in ascending order, so ties break exactly as in the
+		// kk-outer form this replaced (first minimal jp wins).
+		for jp := 0; jp < j; jp++ {
+			inner := pre.Work(jp, j-1) / speed
+			if outT > inner {
+				inner = outT
+			}
+			gp := g[jp]
+			kkMax := maxM
+			if j < kkMax {
+				kkMax = j
+			}
+			if jp+1 < kkMax {
+				kkMax = jp + 1
+			}
+			for kk := 1; kk <= kkMax; kk++ {
+				prev := gp[kk-1]
+				if math.IsInf(prev, 1) {
 					continue
 				}
-				cost := math.Max(G[jp][kk-1], math.Max(pre.Work(jp, j-1)/speed, outT))
-				if cost < G[j][kk] {
-					G[j][kk] = cost
-					cut[j][kk] = jp
+				cost := prev
+				if inner > cost {
+					cost = inner
+				}
+				if cost < gj[kk] {
+					gj[kk] = cost
+					cutj[kk] = jp
 				}
 			}
 		}
 	}
-	if math.IsInf(G[n][m], 1) {
+	return &HeurPTable{n: n, maxM: maxM, g: g, cut: cut}, nil
+}
+
+// Partition materializes the optimal m-interval partition from the
+// shared table.
+func (t *HeurPTable) Partition(m int) (interval.Partition, error) {
+	if m < 1 || m > t.maxM {
+		return nil, errors.New("dp: interval count out of range")
+	}
+	if math.IsInf(t.g[t.n][m], 1) {
 		return nil, ErrInfeasible
 	}
 	ends := make([]int, 0, m)
-	j, kk := n, m
+	j, kk := t.n, m
 	for j > 0 {
 		ends = append(ends, j-1)
-		j, kk = cut[j][kk], kk-1
+		j, kk = t.cut[j][kk], kk-1
 	}
 	reverseInts(ends)
 	return interval.FromEnds(ends), nil

@@ -61,6 +61,12 @@ func Candidate(c chain.Chain, pl platform.Platform, m int, latencyOriented bool,
 	if err != nil {
 		return Result{}, false
 	}
+	return finishCandidate(c, pl, parts, m, opts)
+}
+
+// finishCandidate is the shared tail of Candidate and Gen.Candidate:
+// the §7.2 allocation plus the evaluation of the partitioned chain.
+func finishCandidate(c chain.Chain, pl platform.Platform, parts interval.Partition, m int, opts Options) (Result, bool) {
 	mp, err := alloc.GreedyHet(c, pl, parts, opts.Period, opts.Allowed)
 	if err != nil {
 		return Result{}, false
@@ -70,6 +76,56 @@ func Candidate(c chain.Chain, pl platform.Platform, m int, latencyOriented bool,
 		return Result{}, false
 	}
 	return Result{M: mp, Ev: ev, Intervals: m}, true
+}
+
+// Gen produces heuristic candidates for many interval counts of one
+// instance. Heur-P's partition DP (Algorithm 4) only depends on the
+// largest count requested, and Heur-L's communication ordering is
+// count-independent, so Gen builds each table once — lazily, on the
+// first candidate of that orientation — and reuses it, where repeated
+// Candidate calls redo the per-count work from scratch. Candidates are
+// bit-identical to Candidate's; both the heuristic sweep (HeurP/HeurL)
+// and the search seed pool generate through Gen.
+type Gen struct {
+	c      chain.Chain
+	pl     platform.Platform
+	opts   Options
+	maxM   int
+	pTable *dp.HeurPTable
+	pErr   bool // the table build itself failed; every Heur-P count is out
+	lTable *dp.HeurLTable
+}
+
+// NewGen returns a generator for interval counts 1..maxM; maxM must be
+// within [1, min(n, P)] as usual.
+func NewGen(c chain.Chain, pl platform.Platform, maxM int, opts Options) *Gen {
+	return &Gen{c: c, pl: pl, opts: opts, maxM: maxM}
+}
+
+// Candidate is the table-sharing equivalent of the package-level
+// Candidate for interval count m ≤ maxM.
+func (g *Gen) Candidate(m int, latencyOriented bool) (Result, bool) {
+	var parts interval.Partition
+	var err error
+	if latencyOriented {
+		if g.lTable == nil {
+			g.lTable = dp.NewHeurLTable(g.c)
+		}
+		parts, err = g.lTable.Partition(m)
+	} else {
+		if g.pTable == nil && !g.pErr {
+			g.pTable, err = dp.NewHeurPTable(g.c, g.maxM, meanSpeed(g.pl), g.pl.Bandwidth)
+			g.pErr = err != nil
+		}
+		if g.pErr {
+			return Result{}, false
+		}
+		parts, err = g.pTable.Partition(m)
+	}
+	if err != nil {
+		return Result{}, false
+	}
+	return finishCandidate(g.c, g.pl, parts, m, g.opts)
 }
 
 // run drives the two-step scheme shared by both heuristics.
@@ -84,10 +140,11 @@ func run(c chain.Chain, pl platform.Platform, opts Options, latencyOriented bool
 	if pl.P() < maxM {
 		maxM = pl.P()
 	}
+	g := NewGen(c, pl, maxM, opts)
 	var best Result
 	found := false
 	for m := 1; m <= maxM; m++ {
-		res, ok := Candidate(c, pl, m, latencyOriented, opts)
+		res, ok := g.Candidate(m, latencyOriented)
 		if !ok || !opts.meets(res.Ev) {
 			continue
 		}

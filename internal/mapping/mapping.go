@@ -3,7 +3,6 @@ package mapping
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"relpipe/internal/chain"
 	"relpipe/internal/failure"
@@ -107,14 +106,30 @@ func StageFailProb(pl platform.Platform, procs []int, work, in, out float64) flo
 // Following Eq. (3), only computation failures enter the expectation (the
 // communications appear in the reliability, Eq. 9, not in the timing).
 func ExpectedCost(pl platform.Platform, procs []int, work float64) float64 {
-	order := append([]int(nil), procs...)
-	sort.Slice(order, func(a, b int) bool {
-		sa, sb := pl.Procs[order[a]].Speed, pl.Procs[order[b]].Speed
-		if sa != sb {
-			return sa > sb
+	return expectedCostOrdered(pl, append([]int(nil), procs...), work)
+}
+
+// expectedCostOrdered is ExpectedCost's core on a caller-owned scratch
+// copy of the processor set, reordered in place — the incremental
+// evaluator's zero-allocation path. The sort is an insertion sort:
+// replica sets are tiny (≤ K) and (speed desc, index asc) is a strict
+// total order, so the permutation — and every floating-point operation
+// downstream — matches the sort.Slice it replaced exactly.
+func expectedCostOrdered(pl platform.Platform, order []int, work float64) float64 {
+	for i := 1; i < len(order); i++ {
+		u := order[i]
+		su := pl.Procs[u].Speed
+		j := i - 1
+		for j >= 0 {
+			v := order[j]
+			if sv := pl.Procs[v].Speed; sv > su || (sv == su && v < u) {
+				break // v sorts before u
+			}
+			order[j+1] = v
+			j--
 		}
-		return order[a] < order[b] // deterministic tie-break
-	})
+		order[j+1] = u
+	}
 	num := 0.0
 	prefixFail := 1.0 // Π_{v<u} (1 - r_v)
 	for _, u := range order {
@@ -177,40 +192,21 @@ func Evaluate(c chain.Chain, pl platform.Platform, m Mapping) (Eval, error) {
 // hot loop (the local-search engine proposes thousands of neighbor
 // mappings per solve; re-validating each would dominate the iteration
 // cost). The numbers are bit-identical to Evaluate's.
+//
+// EvaluateUnchecked shares its per-interval and aggregation code with
+// the incremental Evaluator (eval.go), which keeps the full pass the
+// reference oracle the delta path is checked against.
 func EvaluateUnchecked(c chain.Chain, pl platform.Platform, m Mapping) Eval {
-	var ev Eval
-	ev.Stages = make([]StageEval, len(m.Parts))
-	commMax := 0.0
-	for j := range m.Parts {
-		st := &ev.Stages[j]
-		st.Work = m.Parts.Work(c, j)
-		st.In = m.Parts.In(c, j)
-		st.Out = m.Parts.Out(c, j)
-		st.FailProb = StageFailProb(pl, m.Procs[j], st.Work, st.In, st.Out)
-		st.ExpCost = ExpectedCost(pl, m.Procs[j], st.Work)
-		st.WorstCost = WorstCost(pl, m.Procs[j], st.Work)
-
-		ev.LogRel += failure.LogRel(st.FailProb)
-		outTime := pl.CommTime(st.Out)
-		ev.ExpLatency += st.ExpCost + outTime
-		ev.WorstLatency += st.WorstCost + outTime
-		if outTime > commMax {
-			commMax = outTime
-		}
-		if st.ExpCost > ev.ExpPeriod {
-			ev.ExpPeriod = st.ExpCost
-		}
-		if st.WorstCost > ev.WorstPeriod {
-			ev.WorstPeriod = st.WorstCost
-		}
+	terms := make([]stageTerm, len(m.Parts))
+	var order []int
+	for j := range terms {
+		order = computeTerm(&terms[j], c, pl, m, j, order)
 	}
-	if commMax > ev.ExpPeriod {
-		ev.ExpPeriod = commMax
+	ev := aggregate(terms)
+	ev.Stages = make([]StageEval, len(terms))
+	for j := range terms {
+		ev.Stages[j] = terms[j].StageEval
 	}
-	if commMax > ev.WorstPeriod {
-		ev.WorstPeriod = commMax
-	}
-	ev.FailProb = failure.FromLogRel(ev.LogRel)
 	return ev
 }
 

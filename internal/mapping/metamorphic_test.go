@@ -76,10 +76,14 @@ func TestMetamorphicSpeedScaling(t *testing.T) {
 			return false
 		}
 		// Worst-case metrics scale exactly. The expected latency does
-		// not: shrinking failure probabilities shifts Eq. (3)'s weight
-		// toward the faster replicas, so it improves at least as fast.
+		// not, and not even monotonically: Eq. (3) conditions on at
+		// least one replica succeeding, and shrinking every failure
+		// probability can shift that conditional weight slightly toward
+		// slower replicas (observed ~0.3% against 1/α scaling on rare
+		// instances). What always holds is the worst-case envelope:
+		// ec ≤ wc per interval, and wc scales exactly.
 		return relClose(e2.WorstLatency*alpha, e1.WorstLatency, 1e-9) &&
-			e2.ExpLatency*alpha <= e1.ExpLatency*(1+1e-9) &&
+			e2.ExpLatency*alpha <= e1.WorstLatency*(1+1e-9) &&
 			relClose(e2.WorstPeriod*alpha, e1.WorstPeriod, 1e-9) &&
 			e2.FailProb <= e1.FailProb+1e-15
 	}

@@ -2,11 +2,15 @@ package search
 
 import (
 	"relpipe/internal/interval"
+	"relpipe/internal/mapping"
 	"relpipe/internal/rng"
 )
 
-// The neighborhoods. Every move returns a fresh state (the input is
-// never mutated) and reports whether it produced a valid neighbor:
+// The neighborhoods. Every move reads cur and writes the neighbor into
+// next (two caller-owned buffers; an accepted move is a pointer swap),
+// reports whether it produced a valid neighbor, and describes which
+// intervals it rewrote as a mapping.Touched so the incremental
+// evaluator re-scores only those:
 //
 //   - moveBoundary shifts one interval boundary by one task;
 //   - mergeIntervals fuses two adjacent intervals (surplus replicas
@@ -22,6 +26,14 @@ import (
 // chain, every interval keeps 1..K replicas, and a processor serves at
 // most one interval. The Allowed constraint is consulted whenever a
 // processor is granted to an interval index.
+//
+// Moves never alias cur's storage into next (content is always copied
+// into next's own reused arrays) and never read next's prior content,
+// so a rejected proposal leaves cur untouched and the buffers reach a
+// steady state where the whole propose/score cycle allocates nothing.
+// Each move draws from the rng in a fixed order regardless of outcome
+// shape — the annealing trajectory is part of the engine's determinism
+// contract.
 
 // moveKind identifies one neighborhood.
 type moveKind int
@@ -72,7 +84,7 @@ func (p problem) allowed(j, u int) bool {
 // sits at index j. Moves that shift indices must reject neighbors that
 // would break the constraint, or the search could return a mapping no
 // validator can flag (mapping.Validate knows nothing about Allowed).
-func (p problem) allowedFrom(s state, from int) bool {
+func (p problem) allowedFrom(s *state, from int) bool {
 	if p.opts.Allowed == nil {
 		return true
 	}
@@ -86,51 +98,52 @@ func (p problem) allowedFrom(s state, from int) bool {
 	return true
 }
 
-// propose draws neighborhoods until one yields a valid neighbor, with
-// a bounded number of attempts (a failed attempt costs one iteration).
-func (p problem) propose(s state, r *rng.Rand) (state, bool) {
+// propose draws neighborhoods until one yields a valid neighbor in
+// next, with a bounded number of attempts (a failed attempt costs one
+// iteration).
+func (p problem) propose(cur, next *state, r *rng.Rand) (mapping.Touched, bool) {
 	table := moveWeights[p.obj]
 	for attempt := 0; attempt < 8; attempt++ {
-		var next state
+		var t mapping.Touched
 		var ok bool
 		switch table[r.IntN(len(table))] {
 		case moveBoundary:
-			next, ok = p.moveBoundary(s, r)
+			t, ok = p.moveBoundary(cur, next, r)
 		case mergeIntervals:
-			next, ok = p.mergeIntervals(s, r)
+			t, ok = p.mergeIntervals(cur, next, r)
 		case splitInterval:
-			next, ok = p.splitInterval(s, r)
+			t, ok = p.splitInterval(cur, next, r)
 		case swapReplica:
-			next, ok = p.swapReplica(s, r)
+			t, ok = p.swapReplica(cur, next, r)
 		case addReplica:
-			next, ok = p.addReplica(s, r)
+			t, ok = p.addReplica(cur, next, r)
 		case dropReplica:
-			next, ok = p.dropReplica(s, r)
+			t, ok = p.dropReplica(cur, next, r)
 		case stealReplica:
-			next, ok = p.stealReplica(s, r)
+			t, ok = p.stealReplica(cur, next, r)
 		}
 		if ok {
-			return next, true
+			return t, true
 		}
 	}
-	return state{}, false
+	return mapping.Touched{}, false
 }
 
-func (p problem) moveBoundary(s state, r *rng.Rand) (state, bool) {
-	m := len(s.parts)
+func (p problem) moveBoundary(cur, next *state, r *rng.Rand) (mapping.Touched, bool) {
+	m := len(cur.parts)
 	if m < 2 {
-		return state{}, false
+		return mapping.Touched{}, false
 	}
 	b := r.IntN(m - 1) // boundary between intervals b and b+1
 	right := r.IntN(2) == 0
 	if right {
-		if s.parts[b+1].Size() < 2 {
-			return state{}, false
+		if cur.parts[b+1].Size() < 2 {
+			return mapping.Touched{}, false
 		}
-	} else if s.parts[b].Size() < 2 {
-		return state{}, false
+	} else if cur.parts[b].Size() < 2 {
+		return mapping.Touched{}, false
 	}
-	next := s.clone()
+	next.copyFrom(cur)
 	if right {
 		next.parts[b].Last++
 		next.parts[b+1].First++
@@ -138,51 +151,68 @@ func (p problem) moveBoundary(s state, r *rng.Rand) (state, bool) {
 		next.parts[b].Last--
 		next.parts[b+1].First--
 	}
-	return next, true
+	return mapping.TouchTwo(b, b+1), true
 }
 
-func (p problem) mergeIntervals(s state, r *rng.Rand) (state, bool) {
-	m := len(s.parts)
+func (p problem) mergeIntervals(cur, next *state, r *rng.Rand) (mapping.Touched, bool) {
+	m := len(cur.parts)
 	if m < 2 {
-		return state{}, false
+		return mapping.Touched{}, false
 	}
 	j := r.IntN(m - 1)
 	k := p.pl.MaxReplicas
-	var kept, freed []int
-	for _, u := range append(append([]int(nil), s.procs[j]...), s.procs[j+1]...) {
-		if len(kept) < k && p.allowed(j, u) {
-			kept = append(kept, u)
-		} else {
-			freed = append(freed, u)
+
+	// Fuse interval j+1 into j: keep at most K allowed processors in
+	// encounter order, free the rest to the pool.
+	next.setIntervals(len(cur.procs) - 1)
+	for i := 0; i < j; i++ {
+		next.setProcs(i, cur.procs[i])
+	}
+	next.unused = append(next.unused[:0], cur.unused...)
+	kept := next.procs[j][:0]
+	for pass := 0; pass < 2; pass++ {
+		src := cur.procs[j]
+		if pass == 1 {
+			src = cur.procs[j+1]
+		}
+		for _, u := range src {
+			if len(kept) < k && p.allowed(j, u) {
+				kept = append(kept, u)
+			} else {
+				next.unused = append(next.unused, u)
+			}
 		}
 	}
 	if len(kept) == 0 {
-		return state{}, false
+		return mapping.Touched{}, false
 	}
-	next := s.clone()
-	next.parts[j].Last = next.parts[j+1].Last
-	next.parts = append(next.parts[:j+1], next.parts[j+2:]...)
 	next.procs[j] = kept
-	next.procs = append(next.procs[:j+1], next.procs[j+2:]...)
-	next.unused = append(next.unused, freed...)
-	if !p.allowedFrom(next, j+1) { // intervals past j shifted down one index
-		return state{}, false
+	for i := j + 1; i < len(next.procs); i++ {
+		next.setProcs(i, cur.procs[i+1])
 	}
-	return next, true
+
+	next.parts = append(next.parts[:0], cur.parts[:j+1]...)
+	next.parts[j].Last = cur.parts[j+1].Last
+	next.parts = append(next.parts, cur.parts[j+2:]...)
+
+	if !p.allowedFrom(next, j+1) { // intervals past j shifted down one index
+		return mapping.Touched{}, false
+	}
+	return mapping.TouchMerge(j), true
 }
 
-func (p problem) splitInterval(s state, r *rng.Rand) (state, bool) {
-	m := len(s.parts)
+func (p problem) splitInterval(cur, next *state, r *rng.Rand) (mapping.Touched, bool) {
+	m := len(cur.parts)
 	j := r.IntN(m)
-	size := s.parts[j].Size()
+	size := cur.parts[j].Size()
 	if size < 2 {
-		return state{}, false
+		return mapping.Touched{}, false
 	}
-	cut := s.parts[j].First + r.IntN(size-1) // last task of the left half
+	cut := cur.parts[j].First + r.IntN(size-1) // last task of the left half
 
 	// Staff the right half: an unused allowed processor, else a surplus
 	// replica of the split interval itself.
-	next := s.clone()
+	next.unused = append(next.unused[:0], cur.unused...)
 	rightProc := -1
 	if len(next.unused) > 0 {
 		start := r.IntN(len(next.unused))
@@ -195,89 +225,102 @@ func (p problem) splitInterval(s state, r *rng.Rand) (state, bool) {
 			}
 		}
 	}
+	left := cur.procs[j]
 	if rightProc < 0 {
-		if len(next.procs[j]) < 2 {
-			return state{}, false
+		if len(left) < 2 {
+			return mapping.Touched{}, false
 		}
-		last := len(next.procs[j]) - 1
-		if !p.allowed(j+1, next.procs[j][last]) {
-			return state{}, false
+		last := len(left) - 1
+		if !p.allowed(j+1, left[last]) {
+			return mapping.Touched{}, false
 		}
-		rightProc = next.procs[j][last]
-		next.procs[j] = next.procs[j][:last]
+		rightProc = left[last]
+		left = left[:last]
 	}
 
-	left := interval.Interval{First: next.parts[j].First, Last: cut}
-	rightIv := interval.Interval{First: cut + 1, Last: next.parts[j].Last}
-	next.parts = append(next.parts[:j], append(interval.Partition{left, rightIv}, next.parts[j+1:]...)...)
-	next.procs = append(next.procs[:j], append([][]int{next.procs[j], {rightProc}}, next.procs[j+1:]...)...)
+	next.setIntervals(len(cur.procs) + 1)
+	for i := 0; i < j; i++ {
+		next.setProcs(i, cur.procs[i])
+	}
+	next.setProcs(j, left)
+	next.procs[j+1] = append(next.procs[j+1][:0], rightProc)
+	for i := j + 1; i < len(cur.procs); i++ {
+		next.setProcs(i+1, cur.procs[i])
+	}
+
+	next.parts = append(next.parts[:0], cur.parts[:j]...)
+	next.parts = append(next.parts,
+		interval.Interval{First: cur.parts[j].First, Last: cut},
+		interval.Interval{First: cut + 1, Last: cur.parts[j].Last})
+	next.parts = append(next.parts, cur.parts[j+1:]...)
+
 	if !p.allowedFrom(next, j+2) { // intervals past j shifted up one index
-		return state{}, false
+		return mapping.Touched{}, false
 	}
-	return next, true
+	return mapping.TouchSplit(j), true
 }
 
-func (p problem) swapReplica(s state, r *rng.Rand) (state, bool) {
-	if len(s.unused) == 0 {
-		return state{}, false
+func (p problem) swapReplica(cur, next *state, r *rng.Rand) (mapping.Touched, bool) {
+	if len(cur.unused) == 0 {
+		return mapping.Touched{}, false
 	}
-	j := r.IntN(len(s.parts))
-	ri := r.IntN(len(s.procs[j]))
-	ui := r.IntN(len(s.unused))
-	if !p.allowed(j, s.unused[ui]) {
-		return state{}, false
+	j := r.IntN(len(cur.parts))
+	ri := r.IntN(len(cur.procs[j]))
+	ui := r.IntN(len(cur.unused))
+	if !p.allowed(j, cur.unused[ui]) {
+		return mapping.Touched{}, false
 	}
-	next := s.clone()
+	next.copyFrom(cur)
 	next.procs[j][ri], next.unused[ui] = next.unused[ui], next.procs[j][ri]
-	return next, true
+	return mapping.TouchOne(j), true
 }
 
-func (p problem) addReplica(s state, r *rng.Rand) (state, bool) {
-	if len(s.unused) == 0 {
-		return state{}, false
+func (p problem) addReplica(cur, next *state, r *rng.Rand) (mapping.Touched, bool) {
+	if len(cur.unused) == 0 {
+		return mapping.Touched{}, false
 	}
-	j := r.IntN(len(s.parts))
-	if len(s.procs[j]) >= p.pl.MaxReplicas {
-		return state{}, false
+	j := r.IntN(len(cur.parts))
+	if len(cur.procs[j]) >= p.pl.MaxReplicas {
+		return mapping.Touched{}, false
 	}
-	ui := r.IntN(len(s.unused))
-	if !p.allowed(j, s.unused[ui]) {
-		return state{}, false
+	ui := r.IntN(len(cur.unused))
+	if !p.allowed(j, cur.unused[ui]) {
+		return mapping.Touched{}, false
 	}
-	next := s.clone()
+	next.copyFrom(cur)
 	next.procs[j] = append(next.procs[j], next.unused[ui])
 	next.unused = append(next.unused[:ui], next.unused[ui+1:]...)
-	return next, true
+	return mapping.TouchOne(j), true
 }
 
-func (p problem) dropReplica(s state, r *rng.Rand) (state, bool) {
-	j := r.IntN(len(s.parts))
-	if len(s.procs[j]) < 2 {
-		return state{}, false
+func (p problem) dropReplica(cur, next *state, r *rng.Rand) (mapping.Touched, bool) {
+	j := r.IntN(len(cur.parts))
+	if len(cur.procs[j]) < 2 {
+		return mapping.Touched{}, false
 	}
-	ri := r.IntN(len(s.procs[j]))
-	next := s.clone()
+	ri := r.IntN(len(cur.procs[j]))
+	next.copyFrom(cur)
 	next.unused = append(next.unused, next.procs[j][ri])
 	next.procs[j] = append(next.procs[j][:ri], next.procs[j][ri+1:]...)
-	return next, true
+	return mapping.TouchOne(j), true
 }
 
-func (p problem) stealReplica(s state, r *rng.Rand) (state, bool) {
-	m := len(s.parts)
+func (p problem) stealReplica(cur, next *state, r *rng.Rand) (mapping.Touched, bool) {
+	m := len(cur.parts)
 	if m < 2 {
-		return state{}, false
+		return mapping.Touched{}, false
 	}
 	src := r.IntN(m)
 	dst := r.IntN(m)
-	if src == dst || len(s.procs[src]) < 2 || len(s.procs[dst]) >= p.pl.MaxReplicas {
-		return state{}, false
+	if src == dst || len(cur.procs[src]) < 2 || len(cur.procs[dst]) >= p.pl.MaxReplicas {
+		return mapping.Touched{}, false
 	}
-	ri := r.IntN(len(s.procs[src]))
-	if !p.allowed(dst, s.procs[src][ri]) {
-		return state{}, false
+	ri := r.IntN(len(cur.procs[src]))
+	if !p.allowed(dst, cur.procs[src][ri]) {
+		return mapping.Touched{}, false
 	}
-	next := s.clone()
+	next.copyFrom(cur)
 	next.procs[dst] = append(next.procs[dst], next.procs[src][ri])
 	next.procs[src] = append(next.procs[src][:ri], next.procs[src][ri+1:]...)
-	return next, true
+	return mapping.TouchTwo(src, dst), true
 }

@@ -67,6 +67,16 @@ type Options struct {
 	// truncated run is valid but no longer parallelism-independent.
 	TimeBudget time.Duration
 
+	// ReferenceEval scores every proposal with a full O(n)
+	// mapping.EvaluateUnchecked pass instead of the incremental
+	// evaluator. The two paths are bit-identical by contract — same
+	// mapping, same Eval bits, same Stats (FuzzEvalDelta and the
+	// delta_test metamorphic suite enforce it) — so the knob never
+	// changes a result; it exists as the reference oracle for those
+	// checks and for the bench kernel that measures the delta path's
+	// speedup.
+	ReferenceEval bool
+
 	// Parallelism caps the portfolio's worker goroutines
 	// (0 = GOMAXPROCS, negative = sequential); it never changes the
 	// result. Context cancels the run mid-restart; nil means no
@@ -181,6 +191,10 @@ type restartOut struct {
 	iters     int
 	accepted  int
 	truncated bool
+	// deltaEvals/fullEvals count incremental vs full evaluations; they
+	// feed the search.anneal stage attributes, never the result.
+	deltaEvals int
+	fullEvals  int
 }
 
 // run drives the shared pipeline: validate, seed, portfolio, reduce.
@@ -239,19 +253,23 @@ func run(c chain.Chain, pl platform.Platform, opts Options, obj objective) (Resu
 	// Deterministic best-of reduce: highest score wins, ties go to the
 	// lowest restart index (par.Map returns results in index order).
 	best := outs[0]
-	var iters, accepted int64
+	var iters, accepted, deltaEvals, fullEvals int64
 	truncated := false
 	for i, o := range outs {
 		iters += int64(o.iters)
 		accepted += int64(o.accepted)
+		deltaEvals += int64(o.deltaEvals)
+		fullEvals += int64(o.fullEvals)
 		truncated = truncated || o.truncated
 		if i > 0 && o.score > best.score {
 			best = o
 		}
 	}
 	obs.Stage(opts.Context, "search.anneal", annealStart, iters, map[string]string{
-		"restarts": strconv.Itoa(opts.Restarts),
-		"accepted": strconv.FormatInt(accepted, 10),
+		"restarts":   strconv.Itoa(opts.Restarts),
+		"accepted":   strconv.FormatInt(accepted, 10),
+		"deltaEvals": strconv.FormatInt(deltaEvals, 10),
+		"fullEvals":  strconv.FormatInt(fullEvals, 10),
 	})
 
 	// Re-evaluate through the validating path: the engine's own
@@ -401,12 +419,16 @@ func (p problem) seedPool() []seedCandidate {
 		// Warm mappings lead the pool unconditionally (not merged by
 		// score): the caller asserts these are the states to refine
 		// first, e.g. the mapping that was running before a failure.
+		// Scoring goes through the incremental evaluator's full pass —
+		// bit-identical to EvaluateUnchecked, and it keeps the seed
+		// path on the same code the anneal loop trusts.
+		ev := mapping.NewEvaluator(p.c, p.pl)
 		warm := make([]seedCandidate, 0, len(p.opts.Warm)+len(pool))
 		for _, w := range p.opts.Warm {
 			st := newState(p.pl, w)
 			warm = append(warm, seedCandidate{
 				st:    st,
-				score: p.score(mapping.EvaluateUnchecked(p.c, p.pl, w), p.cost(w.Procs)),
+				score: p.score(ev.Init(w), p.cost(w.Procs)),
 			})
 		}
 		pool = append(warm, pool...)
@@ -415,11 +437,13 @@ func (p problem) seedPool() []seedCandidate {
 }
 
 func (p problem) candidates(maxM int, heurPeriod float64) []seedCandidate {
-	hopts := heur.Options{Period: heurPeriod, Allowed: p.opts.Allowed}
+	// One generator per sweep: the Heur-P partition DP is built once for
+	// maxM and shared across every sampled interval count.
+	gen := heur.NewGen(p.c, p.pl, maxM, heur.Options{Period: heurPeriod, Allowed: p.opts.Allowed})
 	var pool []seedCandidate
 	for _, m := range sampledM(maxM) {
 		for _, latencyOriented := range []bool{false, true} {
-			res, ok := heur.Candidate(p.c, p.pl, m, latencyOriented, hopts)
+			res, ok := gen.Candidate(m, latencyOriented)
 			if !ok {
 				continue
 			}
@@ -437,24 +461,43 @@ func restartRng(seed uint64, r int) *rng.Rand {
 }
 
 // restart runs one annealing pass from its assigned seed candidate.
+//
+// The hot loop is allocation-free in steady state: cur/next are two
+// reused state buffers (an accepted move is a pointer swap), and
+// scoring goes through the incremental evaluator, which recomputes only
+// the intervals the move touched and recombines memoized terms for the
+// rest — bit-identical to the full pass by the Evaluator's contract, so
+// the annealing trajectory (accept/reject decisions, Stats, the best
+// mapping) is exactly the ReferenceEval trajectory.
 func (p problem) restart(r int, seeds []seedCandidate, deadline time.Time) (restartOut, error) {
 	rand := restartRng(p.opts.Seed, r)
-	st := seeds[r%len(seeds)].st.clone()
+	var bufA, bufB state
+	cur, next := &bufA, &bufB
+	cur.copyFrom(&seeds[r%len(seeds)].st)
 
 	// Later cycles through the pool diversify by random perturbation:
 	// a burst of unconditionally-accepted moves.
 	if r >= len(seeds) {
 		kicks := 2 + rand.IntN(6)
 		for i := 0; i < kicks; i++ {
-			if next, ok := p.propose(st, rand); ok {
-				st = next
+			if _, ok := p.propose(cur, next, rand); ok {
+				cur, next = next, cur
 			}
 		}
 	}
 
-	cur := st
+	out := restartOut{}
 	curCost := p.cost(cur.procs)
-	curScore := p.score(mapping.EvaluateUnchecked(p.c, p.pl, cur.mapping()), curCost)
+	var eval *mapping.Evaluator
+	var curScore float64
+	if p.opts.ReferenceEval {
+		curScore = p.score(mapping.EvaluateUnchecked(p.c, p.pl, cur.mapping()), curCost)
+		out.fullEvals++
+	} else {
+		eval = mapping.NewEvaluator(p.c, p.pl)
+		curScore = p.score(eval.Init(cur.mapping()), curCost)
+		out.fullEvals++
+	}
 	best, bestCost, bestScore := cur.clone(), curCost, curScore
 
 	// Temperature scale: a few percent of the current objective
@@ -462,7 +505,6 @@ func (p problem) restart(r int, seeds []seedCandidate, deadline time.Time) (rest
 	// geometrically to 1e-3 of itself over the budget.
 	t0 := 0.05 * math.Max(1e-9, scoreMagnitude(curScore))
 	budget := p.opts.Budget
-	out := restartOut{}
 	plateau := 0
 	for it := 0; it < budget; it++ {
 		out.iters++
@@ -477,16 +519,29 @@ func (p problem) restart(r int, seeds []seedCandidate, deadline time.Time) (rest
 				break
 			}
 		}
-		next, ok := p.propose(cur, rand)
+		touched, ok := p.propose(cur, next, rand)
 		if !ok {
 			continue
 		}
 		nextCost := p.cost(next.procs)
-		nextScore := p.score(mapping.EvaluateUnchecked(p.c, p.pl, next.mapping()), nextCost)
+		var nextScore float64
+		if eval != nil {
+			nextScore = p.score(eval.Apply(next.mapping(), touched), nextCost)
+			out.deltaEvals++
+		} else {
+			nextScore = p.score(mapping.EvaluateUnchecked(p.c, p.pl, next.mapping()), nextCost)
+			out.fullEvals++
+		}
 		delta := nextScore - curScore
 		if delta >= 0 || rand.Float64() < math.Exp(delta/temperature(t0, it, budget)) {
-			cur, curCost, curScore = next, nextCost, nextScore
+			if eval != nil {
+				eval.Commit()
+			}
+			cur, next = next, cur
+			curCost, curScore = nextCost, nextScore
 			out.accepted++
+		} else if eval != nil {
+			eval.Revert()
 		}
 		if curScore > bestScore {
 			best, bestCost, bestScore = cur.clone(), curCost, curScore
@@ -555,6 +610,33 @@ func (s state) clone() state {
 		procs:  cloneProcs(s.procs),
 		unused: append([]int(nil), s.unused...),
 	}
+}
+
+// copyFrom overwrites s with a deep copy of src, reusing s's backing
+// arrays: the move loop's buffers stop allocating once they reach
+// steady-state capacity.
+func (s *state) copyFrom(src *state) {
+	s.parts = append(s.parts[:0], src.parts...)
+	s.unused = append(s.unused[:0], src.unused...)
+	s.setIntervals(len(src.procs))
+	for j := range src.procs {
+		s.setProcs(j, src.procs[j])
+	}
+}
+
+// setIntervals resizes s.procs to n replica sets, keeping the scratch
+// arrays of slots that have been used before.
+func (s *state) setIntervals(n int) {
+	if n <= cap(s.procs) {
+		s.procs = s.procs[:n]
+		return
+	}
+	s.procs = append(s.procs[:cap(s.procs)], make([][]int, n-cap(s.procs))...)
+}
+
+// setProcs replaces replica set j with a copy of us.
+func (s *state) setProcs(j int, us []int) {
+	s.procs[j] = append(s.procs[j][:0], us...)
 }
 
 func (s state) mapping() mapping.Mapping {

@@ -201,6 +201,25 @@ type ErrorResponse struct {
 // (traceId) and keys the recorded trace at "GET /debug/traces?id=".
 const TraceHeader = "X-Trace-Id"
 
+// ForwardedHeader marks an intra-cluster hop: a node forwarding a
+// request to the instance's owner sets it to its own base URL, and a
+// node receiving it always executes locally — one hop, never a routing
+// loop. Clients never set it. See DESIGN.md "Cluster mode".
+const ForwardedHeader = "X-Relpipe-Forwarded"
+
+// AsyncHeader rides on forwarded requests originating from an async
+// job: the receiving node applies the async contract to the solve
+// (wait for a worker slot instead of shedding 429, no request timeout,
+// the connection's lifetime is the cancellation bound). Only honoured
+// together with ForwardedHeader.
+const AsyncHeader = "X-Relpipe-Async"
+
+// NodeHeader is the response header naming the cluster node (base URL)
+// that produced the response body — the owner for routed requests, the
+// entry node for local and fallback executions. Single-node servers
+// omit it. The cluster e2e suite asserts stable ownership through it.
+const NodeHeader = "X-Relpipe-Node"
+
 // JobSubmitRequest submits a long-running solve for asynchronous
 // execution ("POST /v1/jobs"): Kind names an endpoint ("optimize",
 // "evaluate", "minperiod", "frontier", "mincost", "simulate", "adapt",

@@ -10,6 +10,15 @@
 //	      [-solver-parallel 0] [-search-restarts 32] [-search-budget 200000]
 //	      [-jobs 1024] [-jobs-per-client 16] [-jobs-ttl 10m] [-jobs-dump path]
 //	      [-traces 256] [-log-format text|json] [-pprof]
+//	      [-peers url,url,... -self url] [-peer-timeout 0]
+//
+// Cluster mode: -peers lists every cluster member's base URL (self
+// included, the same list on every node) and -self names this node's
+// own entry. Each request routes to the consistent-hash owner of its
+// instance; an unreachable owner degrades to a local solve. Responses
+// are byte-identical to single-node mode. -peer-timeout bounds one
+// synchronous forward hop (0 derives it from -timeout plus headroom).
+// See DESIGN.md "Cluster mode" and the README 3-node quick-start.
 //
 // Observability: every /v1 response carries an X-Trace-Id header and the
 // recorder keeps the -traces most recent request traces queryable at
@@ -42,10 +51,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"relpipe"
+	"relpipe/internal/cluster"
 	"relpipe/internal/service"
 )
 
@@ -71,9 +82,17 @@ func main() {
 		"in-memory trace recorder capacity for /debug/traces (0 = default 256, negative disables)")
 	logFormat := fs.String("log-format", "text", "request log format: text or json")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+	peers := fs.String("peers", "", "comma-separated base URLs of every cluster member, self included (empty = single-node)")
+	self := fs.String("self", "", "this node's base URL, one of -peers (required with -peers)")
+	peerTimeout := fs.Duration("peer-timeout", 0, "per-hop bound for forwarding a request to its owner node (0 = -timeout plus headroom)")
 	fs.Parse(os.Args[1:])
 
 	reqLogger, err := newRequestLogger(os.Stderr, *logFormat)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+
+	clusterCfg, err := clusterConfig(*peers, *self, *peerTimeout)
 	if err != nil {
 		log.Fatalf("serve: %v", err)
 	}
@@ -99,9 +118,30 @@ func main() {
 		TraceCapacity:     *traces,
 		EnablePprof:       *pprofOn,
 		Logger:            reqLogger,
-	}, *grace, *jobsDump, log.Default()); err != nil {
+	}, clusterCfg, *grace, *jobsDump, log.Default()); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
+}
+
+// clusterConfig validates the cluster flag triple. An empty -peers
+// keeps the server single-node (nil config).
+func clusterConfig(peers, self string, hop time.Duration) (*cluster.Config, error) {
+	if peers == "" {
+		if self != "" {
+			return nil, errors.New("-self requires -peers")
+		}
+		return nil, nil
+	}
+	if self == "" {
+		return nil, errors.New("-peers requires -self")
+	}
+	var list []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			list = append(list, p)
+		}
+	}
+	return &cluster.Config{Self: self, Peers: list, HopTimeout: hop}, nil
 }
 
 // newRequestLogger builds the structured per-request logger handed to the
@@ -121,9 +161,18 @@ func newRequestLogger(w io.Writer, format string) (*slog.Logger, error) {
 // run serves the solver service on ln until ctx is cancelled, then shuts
 // down gracefully: stop accepting, end SSE job watches, give in-flight
 // requests the grace period, drain the async jobs to terminal statuses
-// (dumping them to jobsDump when set), drain the worker pool.
-func run(ctx context.Context, ln net.Listener, opts service.Options, grace time.Duration, jobsDump string, logger *log.Logger) error {
+// (dumping them to jobsDump when set), drain the worker pool. A non-nil
+// clusterCfg joins the node to its cluster before serving.
+func run(ctx context.Context, ln net.Listener, opts service.Options, clusterCfg *cluster.Config, grace time.Duration, jobsDump string, logger *log.Logger) error {
 	svc := service.NewServer(opts)
+	if clusterCfg != nil {
+		if err := svc.JoinCluster(*clusterCfg); err != nil {
+			svc.Close()
+			return err
+		}
+		cl := svc.Cluster()
+		logger.Printf("cluster mode: self=%s peers=%v", cl.Self(), cl.Peers())
+	}
 	httpSrv := &http.Server{
 		Handler:           svc,
 		ReadHeaderTimeout: 10 * time.Second,

@@ -29,7 +29,7 @@ func startTestService(t *testing.T, jobsDump string) (string, func() error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, ln, service.Options{Workers: 2}, 5*time.Second, jobsDump,
+		errc <- run(ctx, ln, service.Options{Workers: 2}, nil, 5*time.Second, jobsDump,
 			log.New(io.Discard, "", 0))
 	}()
 	return "http://" + ln.Addr().String(), func() error {

@@ -73,6 +73,7 @@ type Engine struct {
 
 	mu        sync.Mutex
 	closed    bool
+	node      string // cluster identity stamped on new jobs' statuses
 	jobs      map[string]*Job
 	live      map[string]int // per-client live job counts
 	submitted uint64         // jobs ever admitted
@@ -164,11 +165,21 @@ func (e *Engine) admitLocked(client string) error {
 	return nil
 }
 
+// SetNode stamps the cluster identity (this node's base URL) onto every
+// subsequently created job's status, so cross-node fan-in can tell a
+// client where its job actually runs. The service calls it when joining
+// a cluster; single-node engines never do, and Node stays empty.
+func (e *Engine) SetNode(node string) {
+	e.mu.Lock()
+	e.node = node
+	e.mu.Unlock()
+}
+
 // newJobLocked registers a job shell. Caller holds mu and has passed
 // admitLocked.
 func (e *Engine) newJobLocked(kind, client, traceID string, cancel context.CancelFunc) *Job {
 	j := &Job{
-		id: newID(), kind: kind, client: client, traceID: traceID,
+		id: newID(), kind: kind, client: client, traceID: traceID, node: e.node,
 		created: e.opts.now(), now: e.opts.now,
 		cancel: cancel,
 		state:  StateQueued,

@@ -81,7 +81,12 @@ type Status struct {
 	// TraceID correlates the job with the trace its runner records
 	// (queryable at /debug/traces); empty for instantly-completed
 	// cache hits, which never execute.
-	TraceID    string    `json:"traceId,omitempty"`
+	TraceID string `json:"traceId,omitempty"`
+	// Node is the cluster node (base URL) the job runs on. In cluster
+	// mode any node answers status queries for any job (cross-node
+	// fan-in); Node says where the work actually lives. Empty on
+	// single-node servers.
+	Node       string    `json:"node,omitempty"`
 	CreatedAt  time.Time `json:"createdAt"`
 	StartedAt  time.Time `json:"startedAt,omitzero"`
 	FinishedAt time.Time `json:"finishedAt,omitzero"`
@@ -95,6 +100,7 @@ type Job struct {
 	kind    string
 	client  string
 	traceID string
+	node    string
 
 	created time.Time
 	cancel  context.CancelFunc
@@ -125,7 +131,7 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID: j.id, Kind: j.kind, Client: j.client,
 		State: j.state, Progress: j.progress,
-		Cached: j.cached, TraceID: j.traceID,
+		Cached: j.cached, TraceID: j.traceID, Node: j.node,
 		CreatedAt: j.created, StartedAt: j.started, FinishedAt: j.finished,
 	}
 	if j.state.Terminal() {

@@ -6,13 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
-	"time"
 
 	"relpipe"
 	"relpipe/internal/jobs"
 	"relpipe/internal/obs"
-	"relpipe/internal/progress"
 )
 
 // This file is the HTTP face of the async job engine (internal/jobs):
@@ -69,10 +68,16 @@ func (s *Server) submitJob(req relpipe.JobSubmitRequest) (relpipe.JobStatus, err
 	if err != nil {
 		return zero, err
 	}
-	key = req.Kind + "|" + key
+	breq := Request{
+		Kind:  req.Kind,
+		Key:   req.Kind + "|" + key,
+		Route: routeKey(key),
+		Body:  req.Request,
+		solve: solve,
+	}
 	// Dedup against the result cache: an async job for a cached key
 	// completes instantly (no worker, no queue wait).
-	if b, ok := s.cache.Get(key); ok {
+	if b, ok := s.cache.Get(breq.Key); ok {
 		s.metrics.CacheHit()
 		j, err := s.jobs.SubmitCompleted(req.Kind, req.Client, jobs.Outcome{Status: http.StatusOK, Body: b})
 		if err != nil {
@@ -82,11 +87,15 @@ func (s *Server) submitJob(req relpipe.JobSubmitRequest) (relpipe.JobStatus, err
 	}
 	// The trace ID is allocated at submit time so the 202 status already
 	// carries it; the trace itself is recorded when the runner executes.
+	// The solve goes through the active backend under the async contract
+	// (ExecuteWait): in cluster mode a remote-owned instance forwards to
+	// its owner — cancelling the job severs the hop — and an unreachable
+	// owner falls back to a local solve, exactly like the sync path.
 	tid := obs.NewTraceID()
 	j, err := s.jobs.SubmitTraced(context.Background(), req.Kind, req.Client, tid,
 		func(ctx context.Context, ctl jobs.Control) jobs.Outcome {
 			tctx, root := s.recorder.StartTraceID(ctx, tid, "job "+req.Kind)
-			out := s.runAsyncSolve(tctx, key, solve, ctl.Running, ctl.Progress)
+			out := s.backend().ExecuteWait(tctx, breq, ctl.Running, ctl.Progress)
 			root.SetAttr("status", strconv.Itoa(out.status))
 			root.End()
 			return jobs.Outcome{Status: out.status, Body: out.body}
@@ -95,37 +104,6 @@ func (s *Server) submitJob(req relpipe.JobSubmitRequest) (relpipe.JobStatus, err
 		return zero, err
 	}
 	return relpipe.JobStatus(j.Status()), nil
-}
-
-// runAsyncSolve executes one parsed solve on the async path: re-check
-// the cache (the flight for this key may have landed while the job
-// queued), block for a pool slot under the job's context — no request
-// timeout and no 429 shedding, that is the async contract — and run
-// through the shared solveToBytes (marshal + cache). running, when
-// non-nil, marks the queued→running transition once a worker picks the
-// solve up.
-func (s *Server) runAsyncSolve(ctx context.Context, key string, solve solveFunc, running func(), report progress.Func) outcome {
-	ctx = obs.WithStageObserver(ctx, s.metrics.StageObserver())
-	t0 := time.Now()
-	b, hit := s.cache.Get(key)
-	obs.RecordSpan(ctx, "cache", t0, time.Now(), map[string]string{"hit": strconv.FormatBool(hit)})
-	if hit {
-		s.metrics.CacheHit()
-		return outcome{http.StatusOK, b}
-	}
-	s.metrics.CacheMiss()
-	enqueued := time.Now()
-	val, err := s.pool.DoWait(ctx, func() (any, error) {
-		obs.RecordSpan(ctx, "queue.wait", enqueued, time.Now(), nil)
-		if running != nil {
-			running()
-		}
-		return s.solveToBytes(key, solve, solveCtx{ctx: ctx, progress: report})
-	})
-	if err != nil {
-		return errorOutcome(statusForJob(err), err)
-	}
-	return outcome{http.StatusOK, val.([]byte)}
 }
 
 // submitBatchJob admits a whole /v1/batch document as one job: the
@@ -167,7 +145,13 @@ func (s *Server) submitBatchJob(req relpipe.JobSubmitRequest) (relpipe.JobStatus
 				if err != nil {
 					return errorOutcome(http.StatusBadRequest, err)
 				}
-				return s.runAsyncSolve(ctx, kind+"|"+itemKey, solve, nil, nil)
+				return s.backend().ExecuteWait(ctx, Request{
+					Kind:  kind,
+					Key:   kind + "|" + itemKey,
+					Route: routeKey(itemKey),
+					Body:  body,
+					solve: solve,
+				}, nil, nil)
 			}, func(done int64) { ctl.Progress(done, total) })
 			if err := ctx.Err(); err != nil {
 				return errorOutcomeJob(err)
@@ -184,11 +168,17 @@ func (s *Server) submitBatchJob(req relpipe.JobSubmitRequest) (relpipe.JobStatus
 	return relpipe.JobStatus(j.Status()), nil
 }
 
-// handleJobStatus serves one job snapshot ("GET /v1/jobs/{id}").
+// handleJobStatus serves one job snapshot ("GET /v1/jobs/{id}"). A job
+// unknown here but owned by a cluster peer is answered through the
+// cross-node fan-in — submit on one node, poll from any node.
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request("jobs")
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
+		if out, found := s.clusterJobFanIn(r, http.MethodGet, "/v1/jobs/"+url.PathEscape(r.PathValue("id"))); found {
+			s.writeOutcome(w, out)
+			return
+		}
 		s.writeError(w, http.StatusNotFound, errors.New("jobs: no such job"))
 		return
 	}
@@ -196,23 +186,32 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobList serves every stored job, newest first, optionally
-// filtered by ?client= ("GET /v1/jobs").
+// filtered by ?client= ("GET /v1/jobs"). In cluster mode the listing
+// merges every peer's jobs into one cluster-wide view (each entry's
+// node field says where it runs).
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request("jobs")
 	// relpipe.JobStatus is an alias of jobs.Status, so the snapshot
 	// slice is already the wire type.
-	s.writeJSON(w, http.StatusOK, relpipe.JobListResponse{Jobs: s.jobs.Snapshot(r.URL.Query().Get("client"))})
+	list := s.jobs.Snapshot(r.URL.Query().Get("client"))
+	list = s.clusterJobListMerge(r, list)
+	s.writeJSON(w, http.StatusOK, relpipe.JobListResponse{Jobs: list})
 }
 
 // handleJobCancel requests cancellation ("DELETE /v1/jobs/{id}"). The
 // answer is the job's current snapshot; the state flips to cancelled
 // asynchronously, as soon as the solver observes its cancelled context
 // (solvers poll between shards/iterations). Cancelling a terminal job
-// is a no-op that returns its result.
+// is a no-op that returns its result. Jobs running on a cluster peer
+// are cancelled through the same fan-in that serves their status.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request("jobs")
 	j, ok, _ := s.jobs.Cancel(r.PathValue("id"))
 	if !ok {
+		if out, found := s.clusterJobFanIn(r, http.MethodDelete, "/v1/jobs/"+url.PathEscape(r.PathValue("id"))); found {
+			s.writeOutcome(w, out)
+			return
+		}
 		s.writeError(w, http.StatusNotFound, errors.New("jobs: no such job"))
 		return
 	}
@@ -231,6 +230,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request("jobs")
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
+		if s.clusterJobEventsProxy(w, r) {
+			return
+		}
 		s.writeError(w, http.StatusNotFound, errors.New("jobs: no such job"))
 		return
 	}

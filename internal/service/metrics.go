@@ -39,6 +39,11 @@ type Metrics struct {
 	solveLatency obs.Histogram     // relpipe_solve_duration_seconds
 	stageLatency *obs.HistogramVec // relpipe_solver_stage_duration_seconds{stage}
 	stageUnits   *obs.CounterVec   // relpipe_solver_stage_units_total{stage}
+
+	clusterForwards       *obs.CounterVec   // relpipe_cluster_forwards_total{peer}
+	clusterForwardErrors  *obs.CounterVec   // relpipe_cluster_forward_errors_total{peer}
+	clusterFallbacks      *obs.CounterVec   // relpipe_cluster_fallbacks_total{peer}
+	clusterForwardLatency *obs.HistogramVec // relpipe_cluster_forward_duration_seconds{peer}
 }
 
 // NewMetrics returns a metrics registry with every service instrument
@@ -71,6 +76,17 @@ func NewMetrics() *Metrics {
 			"Solver stage latency (dp.table, search.anneal, sim.batch, ...).", latencyBuckets, "stage"),
 		stageUnits: reg.NewCounterVec("relpipe_solver_stage_units_total",
 			"Work units completed per solver stage (restarts, replications, table cells).", "stage"),
+		// The cluster families are label-parameterized by peer base URL —
+		// bounded by the static peer list, never by request content. They
+		// stay empty (HELP/TYPE only) on single-node servers.
+		clusterForwards: reg.NewCounterVec("relpipe_cluster_forwards_total",
+			"Requests forwarded to their consistent-hash owner node.", "peer"),
+		clusterForwardErrors: reg.NewCounterVec("relpipe_cluster_forward_errors_total",
+			"Forward hops that found the owner unreachable (transport error or 502/503).", "peer"),
+		clusterFallbacks: reg.NewCounterVec("relpipe_cluster_fallbacks_total",
+			"Requests solved locally because their owner node was unreachable.", "peer"),
+		clusterForwardLatency: reg.NewHistogramVec("relpipe_cluster_forward_duration_seconds",
+			"Forward-hop round-trip latency by owner node.", latencyBuckets, "peer"),
 	}
 }
 
@@ -119,6 +135,42 @@ func (m *Metrics) StageObserver() obs.StageObserver {
 			m.stageUnits.With(e.Name).Add(float64(e.Units))
 		}
 	}
+}
+
+// ClusterForward records one forward hop to a peer (however it ended)
+// with its round-trip latency.
+func (m *Metrics) ClusterForward(peer string, seconds float64) {
+	m.clusterForwards.With(peer).Inc()
+	m.clusterForwardLatency.With(peer).Observe(seconds)
+}
+
+// ClusterForwardError counts a forward hop that found the peer
+// unreachable.
+func (m *Metrics) ClusterForwardError(peer string) { m.clusterForwardErrors.With(peer).Inc() }
+
+// ClusterFallback counts a request solved locally because its owner was
+// unreachable — the graceful-degradation counter the peer-failure tests
+// and the e2e kill-one-node assertion watch.
+func (m *Metrics) ClusterFallback(peer string) { m.clusterFallbacks.With(peer).Inc() }
+
+// ClusterFallbacks returns the local-solve fallbacks recorded against a
+// peer (tests assert graceful degradation through it).
+func (m *Metrics) ClusterFallbacks(peer string) int64 {
+	var total float64
+	m.clusterFallbacks.Each(func(labelValues []string, value float64) {
+		if labelValues[0] == peer {
+			total += value
+		}
+	})
+	return int64(total)
+}
+
+// RegisterClusterStats exports the membership gauge once the server
+// joins a cluster.
+func (m *Metrics) RegisterClusterStats(c interface{ Peers() []string }) {
+	m.reg.NewGaugeFunc("relpipe_cluster_peers",
+		"Cluster members (self included) in the current ring.", nil, nil,
+		func() float64 { return float64(len(c.Peers())) })
 }
 
 // RegisterCacheStats exports the result cache's size and evictions.

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"relpipe"
+	"relpipe/internal/cluster"
 	"relpipe/internal/cost"
 	"relpipe/internal/jobs"
 	"relpipe/internal/obs"
@@ -121,6 +122,7 @@ type Server struct {
 	pool     *Pool
 	cache    *Cache
 	flights  *flightGroup
+	forwards *flightGroup // collapses concurrent identical cluster forwards
 	metrics  *Metrics
 	recorder *obs.Recorder
 	logger   *slog.Logger
@@ -128,6 +130,11 @@ type Server struct {
 	mux      *http.ServeMux
 	workers  int
 	exec     execOpts
+
+	// clusterB is set by JoinCluster (atomically — tests join after the
+	// server is already serving); nil means single-node, and backend()
+	// falls through to the local path.
+	clusterB atomic.Pointer[clusterBackend]
 
 	shutdownOnce sync.Once
 	shutdownC    chan struct{} // closed by BeginShutdown; ends SSE streams
@@ -141,6 +148,7 @@ func NewServer(opts Options) *Server {
 		opts:      opts,
 		cache:     NewCache(opts.CacheSize),
 		flights:   newFlightGroup(),
+		forwards:  newFlightGroup(),
 		metrics:   m,
 		logger:    opts.Logger,
 		shutdownC: make(chan struct{}),
@@ -351,10 +359,13 @@ type parser func(body []byte, ex execOpts) (key string, solve solveFunc, err err
 type solveFunc func(sc solveCtx) (any, error)
 
 // outcome is the materialized HTTP answer of one solve, shared verbatim
-// by deduplicated and cached requests.
+// by deduplicated and cached requests. node, when set, names the
+// cluster peer that produced the body (the relpipe.NodeHeader value);
+// empty means this node, filled in at write time in cluster mode.
 type outcome struct {
 	status int
 	body   []byte
+	node   string
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -362,7 +373,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// solveHandler wraps a parser with the shared cache → dedup → pool path.
+// solveHandler wraps a parser with the shared parse → backend path. A
+// forwarded request (another cluster node routed it here) always
+// executes locally — one hop, never a loop — under the contract the
+// hop's headers select: the synchronous one, or the async-job one for
+// forwards that originate from a job on the entry node.
 func (s *Server) solveHandler(endpoint string, parse parser) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		body, status, err := readBody(w, r, s.opts.MaxBodyBytes)
@@ -371,72 +386,106 @@ func (s *Server) solveHandler(endpoint string, parse parser) http.HandlerFunc {
 			s.writeError(w, status, err)
 			return
 		}
-		out := s.process(r.Context(), endpoint, parse, body)
+		var out outcome
+		if isForwarded(r) {
+			out = s.processForwarded(r.Context(), endpoint, parse, body,
+				r.Header.Get(relpipe.AsyncHeader) != "")
+		} else {
+			out = s.process(r.Context(), endpoint, parse, body)
+		}
 		s.writeOutcome(w, out)
 	}
 }
 
-// process runs one job (from a direct request or a batch item) through
-// metrics, parsing, the cache, the flight group, and the pool. ctx is
-// the request context, used only for observability (the trace the
-// middleware opened); cancellation deliberately does not flow into the
-// solve — see the detachment comment below.
-func (s *Server) process(ctx context.Context, endpoint string, parse parser, body []byte) outcome {
+// isForwarded reports whether another cluster node routed this request
+// here (relpipe.ForwardedHeader carries the sender's base URL).
+func isForwarded(r *http.Request) bool {
+	return r.Header.Get(relpipe.ForwardedHeader) != ""
+}
+
+// parseRequest turns a request body into the Backend's unit of work:
+// metrics, parsing, key construction, route extraction.
+func (s *Server) parseRequest(endpoint string, parse parser, body []byte) (Request, error) {
 	s.metrics.Request(endpoint)
 	key, solve, err := parse(body, s.exec)
 	if err != nil {
+		return Request{}, err
+	}
+	return Request{
+		Kind:  endpoint,
+		Key:   endpoint + "|" + key,
+		Route: routeKey(key),
+		Body:  body,
+		solve: solve,
+	}, nil
+}
+
+// process runs one request (from a direct request or a batch item)
+// through the active backend under the synchronous contract. ctx is the
+// request context, used only for observability (the trace the
+// middleware opened); cancellation deliberately does not flow into the
+// solve — see localBackend.Execute.
+func (s *Server) process(ctx context.Context, endpoint string, parse parser, body []byte) outcome {
+	req, err := s.parseRequest(endpoint, parse, body)
+	if err != nil {
 		return errorOutcome(http.StatusBadRequest, err)
 	}
-	key = endpoint + "|" + key
-	t0 := time.Now()
-	b, ok := s.cache.Get(key)
-	obs.RecordSpan(ctx, "cache", t0, time.Now(), map[string]string{"hit": strconv.FormatBool(ok)})
-	if ok {
-		s.metrics.CacheHit()
-		return outcome{http.StatusOK, b}
-	}
-	s.metrics.CacheMiss()
+	return s.backend().Execute(ctx, req)
+}
 
-	flightStart := time.Now()
-	v, _, shared := s.flights.Do(key, func() (any, error) {
-		// The flight for this key may have landed between our cache miss
-		// and becoming leader; re-check so a late arrival serves the
-		// cached result instead of re-solving.
-		if b, ok := s.cache.Get(key); ok {
-			s.metrics.CacheHit()
-			return outcome{http.StatusOK, b}, nil
-		}
-		// The solve is detached from any single request's context so
-		// that deduplicated followers and the cache can use its result
-		// even if the initiating client goes away; the service timeout
-		// still bounds the wait. Marshaling and caching happen on the
-		// worker side: a solve that outlives the timeout (its waiter
-		// already got 504) still lands in the cache, so the next
-		// identical request is a hit instead of another doomed solve.
-		// The leader's trace and the stage observer ride along on the
-		// detached context — observation only, never cancellation.
-		execCtx := obs.WithStageObserver(obs.CopyTrace(context.Background(), ctx), s.metrics.StageObserver())
-		waitCtx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
-		defer cancel()
-		enqueued := time.Now()
-		val, err := s.pool.Do(waitCtx, func() (any, error) {
-			obs.RecordSpan(execCtx, "queue.wait", enqueued, time.Now(), nil)
-			return s.solveToBytes(key, solve, solveCtx{ctx: execCtx})
-		})
-		if err != nil {
-			return errorOutcome(statusFor(err), err), nil
-		}
-		return outcome{http.StatusOK, val.([]byte)}, nil
-	})
-	if shared {
-		s.metrics.DedupJoin()
-		obs.RecordSpan(ctx, "dedup.wait", flightStart, time.Now(), nil)
+// processForwarded runs a request another node routed here: always on
+// the local backend (never re-forwarded), under the synchronous
+// contract or — when the hop carries relpipe.AsyncHeader — the async
+// one, where ctx (the hop's connection) is the cancellation bound: the
+// origin job cancelling severs the connection and aborts the solve.
+func (s *Server) processForwarded(ctx context.Context, endpoint string, parse parser, body []byte, wait bool) outcome {
+	req, err := s.parseRequest(endpoint, parse, body)
+	if err != nil {
+		return errorOutcome(http.StatusBadRequest, err)
 	}
-	out := v.(outcome)
-	if out.status == http.StatusTooManyRequests {
-		s.metrics.Rejected()
+	if wait {
+		return localBackend{s}.ExecuteWait(ctx, req, nil, nil)
 	}
-	return out
+	return localBackend{s}.Execute(ctx, req)
+}
+
+// backend returns the active dispatch seam: the cluster backend once
+// JoinCluster has run, the local pool otherwise.
+func (s *Server) backend() Backend {
+	if cb := s.clusterB.Load(); cb != nil {
+		return cb
+	}
+	return localBackend{s}
+}
+
+// JoinCluster switches the server into cluster mode: requests whose
+// instance hashes to another node are forwarded there (local solve
+// fallback when that owner is unreachable), and the job endpoints fan
+// out across the peers so any node answers for any job. Responses stay
+// byte-identical to single-node mode. HopTimeout defaults to the
+// request timeout plus headroom so a slow-but-healthy owner is never
+// misread as dead. Call after NewServer, before or while serving.
+func (s *Server) JoinCluster(cfg cluster.Config) error {
+	if cfg.HopTimeout <= 0 {
+		cfg.HopTimeout = s.opts.RequestTimeout + 5*time.Second
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	s.metrics.RegisterClusterStats(cl)
+	s.jobs.SetNode(cl.Self())
+	s.clusterB.Store(&clusterBackend{s: s, local: localBackend{s}, cl: cl})
+	return nil
+}
+
+// Cluster exposes the cluster membership (nil on single-node servers) —
+// peer-set changes via SetPeers, and tests.
+func (s *Server) Cluster() *cluster.Cluster {
+	if cb := s.clusterB.Load(); cb != nil {
+		return cb.cl
+	}
+	return nil
 }
 
 // solveToBytes executes one solve closure under sc, marshals the
@@ -877,7 +926,7 @@ func statusFor(err error) int {
 
 func errorOutcome(status int, err error) outcome {
 	b, _ := json.Marshal(relpipe.ErrorResponse{Error: err.Error()})
-	return outcome{status, b}
+	return outcome{status: status, body: b}
 }
 
 // retryAfterSeconds estimates when a 429'd client should come back:
@@ -901,6 +950,14 @@ func (s *Server) writeOutcome(w http.ResponseWriter, out outcome) {
 	if out.status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
+	// In cluster mode every answer names the node whose backend produced
+	// it — the owner for routed requests, this node for local work and
+	// fallbacks. The e2e suite asserts stable ownership through it.
+	if node := out.node; node != "" {
+		w.Header().Set(relpipe.NodeHeader, node)
+	} else if cl := s.Cluster(); cl != nil {
+		w.Header().Set(relpipe.NodeHeader, cl.Self())
+	}
 	w.WriteHeader(out.status)
 	w.Write(out.body)
 }
@@ -915,7 +972,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.writeOutcome(w, outcome{status, b})
+	s.writeOutcome(w, outcome{status: status, body: b})
 }
 
 // floatKey renders floats exactly (hex mantissa) for cache keys.

@@ -18,6 +18,12 @@ import (
 // set BaseURL (e.g. "http://localhost:8080"). It exists so programs —
 // cmd/jobs among them — drive the jobs flow with the same DTOs the
 // server uses instead of hand-rolling HTTP and SSE plumbing.
+//
+// Against a cluster (cmd/serve -peers), BaseURL may point at any
+// member: jobs are any-node, so Status, Watch, Cancel and List work
+// regardless of which node accepted the Submit — the service fans
+// reads out and proxies SSE watches to the owning node. JobStatus.Node
+// reports where the job actually runs.
 type JobsClient struct {
 	// BaseURL is the service root, without the /v1 prefix.
 	BaseURL string

@@ -2,7 +2,9 @@ package relpipe
 
 import (
 	"encoding/json"
+	"time"
 
+	"relpipe/internal/fleet"
 	"relpipe/internal/jobs"
 )
 
@@ -262,4 +264,108 @@ type JobProgress = jobs.Progress
 // ("GET /v1/jobs", optionally filtered by ?client=).
 type JobListResponse struct {
 	Jobs []JobStatus `json:"jobs"`
+}
+
+// FleetPolicy is the wire form of a deployment's guard-rail policy
+// ("POST /v1/fleet/deployments"), durations expressed in seconds. Zero
+// or omitted fields take the server's -fleet* defaults, then the
+// built-in ones (see internal/fleet.Policy).
+type FleetPolicy struct {
+	// HeartbeatSeconds is the expected telemetry cadence; a processor
+	// that has reported at least once and then stays silent for
+	// MissedHeartbeats intervals is declared dead.
+	HeartbeatSeconds float64 `json:"heartbeatSeconds,omitempty"`
+	MissedHeartbeats int     `json:"missedHeartbeats,omitempty"`
+	// RecoverHeartbeats is the readmission hysteresis: consecutive
+	// beats a timed-out processor must deliver before it counts as
+	// alive again. Crash-reported processors never return.
+	RecoverHeartbeats int `json:"recoverHeartbeats,omitempty"`
+	// WindowSize and MinSamples shape the rolling failure-count
+	// baseline; AnomalySigma is the deviation threshold.
+	WindowSize   int     `json:"windowSize,omitempty"`
+	MinSamples   int     `json:"minSamples,omitempty"`
+	AnomalySigma float64 `json:"anomalySigma,omitempty"`
+	// CooldownSeconds is the quiet period after every remap attempt;
+	// BreakerWindowSeconds and MaxRemapsPerWindow form the circuit
+	// breaker (at most MaxRemapsPerWindow submissions per trailing
+	// window).
+	CooldownSeconds      float64 `json:"cooldownSeconds,omitempty"`
+	BreakerWindowSeconds float64 `json:"breakerWindowSeconds,omitempty"`
+	MaxRemapsPerWindow   int     `json:"maxRemapsPerWindow,omitempty"`
+	// MaxDecisions bounds the retained decision log.
+	MaxDecisions int `json:"maxDecisions,omitempty"`
+}
+
+// ToPolicy converts the wire policy to the controller's form. A nil
+// receiver yields the zero Policy (all defaults).
+func (p *FleetPolicy) ToPolicy() fleet.Policy {
+	if p == nil {
+		return fleet.Policy{}
+	}
+	return fleet.Policy{
+		HeartbeatInterval: time.Duration(p.HeartbeatSeconds * float64(time.Second)),
+		MissedHeartbeats:  p.MissedHeartbeats,
+		RecoverHeartbeats: p.RecoverHeartbeats,
+		WindowSize:        p.WindowSize,
+		MinSamples:        p.MinSamples,
+		AnomalySigma:      p.AnomalySigma,
+		Cooldown:          time.Duration(p.CooldownSeconds * float64(time.Second)),
+		BreakerWindow:     time.Duration(p.BreakerWindowSeconds * float64(time.Second)),
+		MaxRemaps:         p.MaxRemapsPerWindow,
+		MaxDecisions:      p.MaxDecisions,
+	}
+}
+
+// FleetRegisterRequest registers a running deployment for continuous
+// adaptation ("POST /v1/fleet/deployments"): the controller watches its
+// telemetry and autonomously re-optimizes the mapping when reliability
+// drifts below MinReliability or a processor dies. Bounds carry the
+// period/latency constraints handed to remap searches (period 0 means
+// the initial mapping's worst case — leave slack if remaps should have
+// room to re-replicate). Search tunes remap searches; remap i runs
+// with seed Seed+i.
+type FleetRegisterRequest struct {
+	ID             string        `json:"id"`
+	Instance       Instance      `json:"instance"`
+	Mapping        Mapping       `json:"mapping"`
+	Bounds         Bounds        `json:"bounds,omitzero"`
+	MinReliability float64       `json:"minReliability"`
+	Mission        float64       `json:"mission,omitempty"`
+	Search         *SearchParams `json:"search,omitempty"`
+	Policy         *FleetPolicy  `json:"policy,omitempty"`
+}
+
+// FleetDeployment is the wire snapshot of one registered deployment
+// ("GET /v1/fleet/deployments/{id}").
+type FleetDeployment = fleet.Status
+
+// FleetDecision is one entry of a deployment's decision log, streamed
+// over "GET /v1/fleet/deployments/{id}/events" (SSE).
+type FleetDecision = fleet.Decision
+
+// FleetEvent is one telemetry observation ("heartbeat", "crash",
+// "failures") fed through "POST /v1/fleet/deployments/{id}/events".
+type FleetEvent = fleet.Event
+
+// FleetListResponse carries every deployment in registration order
+// ("GET /v1/fleet/deployments").
+type FleetListResponse struct {
+	Deployments []FleetDeployment `json:"deployments"`
+}
+
+// FleetEventsRequest feeds telemetry events to a deployment; they take
+// effect, in order, at the controller's next tick.
+type FleetEventsRequest struct {
+	Events []FleetEvent `json:"events"`
+}
+
+// FleetEventsResponse acknowledges accepted telemetry events.
+type FleetEventsResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// FleetDeregisteredEvent is the SSE payload sent when a watched
+// deployment is removed.
+type FleetDeregisteredEvent struct {
+	ID string `json:"id"`
 }

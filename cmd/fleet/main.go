@@ -1,0 +1,289 @@
+// Command fleet drives the solver service's fleet controller from the
+// command line (see API.md, "Fleet controller"):
+//
+//	fleet [-addr http://localhost:8080] register -file deployment.json
+//	fleet [-addr ...] list
+//	fleet [-addr ...] status <deployment-id>
+//	fleet [-addr ...] feed   <deployment-id> [-beat P]... [-crash P]... [-failures N]...
+//	fleet [-addr ...] watch  <deployment-id> [-after SEQ]
+//	fleet [-addr ...] rm     <deployment-id>
+//
+// register posts a FleetRegisterRequest document (see API.md) and
+// prints the deployment's initial status. feed sends heartbeat, crash
+// and failure-count telemetry; the controller applies it at its next
+// tick. watch attaches to the decision SSE stream and prints one line
+// per controller decision — registration, processor deaths, drift,
+// remap submissions/adoptions and suppressions — until interrupted,
+// the deployment is removed, or the server drains. Exit status is 0
+// on success, 1 for transport or validation errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"relpipe"
+	"relpipe/internal/fleet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://localhost:8080", "service base URL")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: fleet [-addr URL] {register|list|status|feed|watch|rm} ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 1
+	}
+	c := &relpipe.FleetClient{BaseURL: *addr}
+	ctx := context.Background()
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "register":
+		return cmdRegister(ctx, c, rest, stdout, stderr)
+	case "list":
+		return cmdList(ctx, c, rest, stdout, stderr)
+	case "status":
+		return cmdStatus(ctx, c, rest, stdout, stderr)
+	case "feed":
+		return cmdFeed(ctx, c, rest, stdout, stderr)
+	case "watch":
+		return cmdWatch(ctx, c, rest, stdout, stderr)
+	case "rm":
+		return cmdRemove(ctx, c, rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "fleet: unknown command %q\n", cmd)
+		fs.Usage()
+		return 1
+	}
+}
+
+func cmdRegister(ctx context.Context, c *relpipe.FleetClient, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fleet register", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("file", "", "FleetRegisterRequest document file (- for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *file == "" {
+		fmt.Fprintln(stderr, "fleet register: -file is required")
+		return 1
+	}
+	var body []byte
+	var err error
+	if *file == "-" {
+		body, err = io.ReadAll(os.Stdin)
+	} else {
+		body, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "fleet register: %v\n", err)
+		return 1
+	}
+	var req relpipe.FleetRegisterRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		fmt.Fprintf(stderr, "fleet register: %v\n", err)
+		return 1
+	}
+	st, err := c.Register(ctx, req)
+	if err != nil {
+		fmt.Fprintf(stderr, "fleet register: %v\n", err)
+		return 1
+	}
+	printDeployment(stdout, st)
+	return 0
+}
+
+func cmdList(ctx context.Context, c *relpipe.FleetClient, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 0 {
+		fmt.Fprintln(stderr, "usage: fleet list")
+		return 1
+	}
+	sts, err := c.List(ctx)
+	if err != nil {
+		fmt.Fprintf(stderr, "fleet list: %v\n", err)
+		return 1
+	}
+	for _, st := range sts {
+		printDeployment(stdout, st)
+	}
+	return 0
+}
+
+func cmdStatus(ctx context.Context, c *relpipe.FleetClient, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: fleet status <deployment-id>")
+		return 1
+	}
+	st, err := c.Status(ctx, args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "fleet status: %v\n", err)
+		return 1
+	}
+	b, _ := json.MarshalIndent(st, "", "  ")
+	fmt.Fprintln(stdout, string(b))
+	return 0
+}
+
+// procList collects repeatable -beat/-crash processor flags.
+type procList []int
+
+func (p *procList) String() string { return fmt.Sprint([]int(*p)) }
+func (p *procList) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	*p = append(*p, n)
+	return nil
+}
+
+// valueList collects repeatable -failures observation flags.
+type valueList []float64
+
+func (v *valueList) String() string { return fmt.Sprint([]float64(*v)) }
+func (v *valueList) Set(s string) error {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return err
+	}
+	*v = append(*v, f)
+	return nil
+}
+
+func cmdFeed(ctx context.Context, c *relpipe.FleetClient, args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: fleet feed <deployment-id> [-beat P]... [-crash P]... [-failures N]...")
+		return 1
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("fleet feed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var beats, crashes procList
+	var failures valueList
+	fs.Var(&beats, "beat", "heartbeat from processor P (repeatable)")
+	fs.Var(&crashes, "crash", "crash report for processor P (repeatable)")
+	fs.Var(&failures, "failures", "observed per-interval failure count (repeatable)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return 1
+	}
+	var events []relpipe.FleetEvent
+	for _, p := range beats {
+		events = append(events, relpipe.FleetEvent{Type: fleet.EventHeartbeat, Proc: p})
+	}
+	for _, p := range crashes {
+		events = append(events, relpipe.FleetEvent{Type: fleet.EventCrash, Proc: p})
+	}
+	for _, v := range failures {
+		events = append(events, relpipe.FleetEvent{Type: fleet.EventFailures, Value: v})
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(stderr, "fleet feed: no events (use -beat, -crash or -failures)")
+		return 1
+	}
+	n, err := c.Feed(ctx, id, events)
+	if err != nil {
+		fmt.Fprintf(stderr, "fleet feed: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "accepted %d event(s)\n", n)
+	return 0
+}
+
+func cmdWatch(ctx context.Context, c *relpipe.FleetClient, args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: fleet watch <deployment-id> [-after SEQ]")
+		return 1
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("fleet watch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	after := fs.Uint64("after", 0, "stream decisions with sequence number > SEQ")
+	if err := fs.Parse(args[1:]); err != nil {
+		return 1
+	}
+	err := c.Watch(ctx, id, *after,
+		func(st relpipe.FleetDeployment) { printDeployment(stdout, st) },
+		func(d relpipe.FleetDecision) { printDecision(stdout, d) })
+	switch err {
+	case relpipe.ErrFleetDeregistered:
+		fmt.Fprintln(stdout, "deployment deregistered")
+		return 0
+	case relpipe.ErrFleetShutdown:
+		fmt.Fprintln(stdout, "server shutting down")
+		return 0
+	case nil:
+		return 0
+	default:
+		fmt.Fprintf(stderr, "fleet watch: %v\n", err)
+		return 1
+	}
+}
+
+func cmdRemove(ctx context.Context, c *relpipe.FleetClient, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: fleet rm <deployment-id>")
+		return 1
+	}
+	st, err := c.Deregister(ctx, args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "fleet rm: %v\n", err)
+		return 1
+	}
+	printDeployment(stdout, st)
+	return 0
+}
+
+// printDeployment prints one compact deployment line.
+func printDeployment(w io.Writer, st relpipe.FleetDeployment) {
+	state := "healthy"
+	switch {
+	case st.Down:
+		state = "down"
+	case st.Degraded:
+		state = "degraded"
+	case st.Drifting:
+		state = "drifting"
+	}
+	line := fmt.Sprintf("%s  %-8s  rel=%.6g floor=%g  remaps=%d adopted=%d suppressed=%d failed=%d",
+		st.ID, state, st.Reliability, st.Floor,
+		st.Remaps, st.RemapsAdopted, st.RemapsSuppressed, st.RemapsFailed)
+	if len(st.DeadProcs) > 0 {
+		line += fmt.Sprintf("  dead=%v", st.DeadProcs)
+	}
+	if st.BreakerOpen {
+		line += "  BREAKER-OPEN"
+	}
+	fmt.Fprintln(w, line)
+}
+
+// printDecision prints one decision-log line.
+func printDecision(w io.Writer, d relpipe.FleetDecision) {
+	line := fmt.Sprintf("%6d  %s  %-16s", d.Seq, d.Time.Format(time.RFC3339), d.Kind)
+	if d.Proc >= 0 {
+		line += fmt.Sprintf("  proc=%d", d.Proc)
+	}
+	if d.Reason != "" {
+		line += "  " + d.Reason
+	}
+	if d.Reliability != 0 {
+		line += fmt.Sprintf("  rel=%.6g", d.Reliability)
+	}
+	fmt.Fprintln(w, line)
+}

@@ -78,6 +78,13 @@ func main() {
 	jobsPerClient := fs.Int("jobs-per-client", 0, "live async jobs per client (0 = default 16)")
 	jobsTTL := fs.Duration("jobs-ttl", 0, "terminal async jobs stay queryable this long (0 = default 10m)")
 	jobsDump := fs.String("jobs-dump", "", "write terminal job statuses to this file on shutdown")
+	fleetOn := fs.Bool("fleet", true, "enable the fleet controller and its /v1/fleet routes")
+	fleetTick := fs.Duration("fleet-tick", 0, "fleet control-loop period (0 = default 1s)")
+	fleetMax := fs.Int("fleet-deployments", 0, "fleet deployment cap (0 = default 1024)")
+	fleetClient := fs.String("fleet-client", "", "jobs client id fleet remaps run under (empty = default \"fleet\")")
+	fleetCooldown := fs.Duration("fleet-cooldown", 0, "default quiet period after each fleet remap (0 = default 1m)")
+	fleetBreaker := fs.Duration("fleet-breaker-window", 0, "default fleet circuit-breaker window (0 = default 10m)")
+	fleetRemaps := fs.Int("fleet-max-remaps", 0, "default fleet remaps allowed per breaker window (0 = default 3)")
 	traces := fs.Int("traces", 0,
 		"in-memory trace recorder capacity for /debug/traces (0 = default 256, negative disables)")
 	logFormat := fs.String("log-format", "text", "request log format: text or json")
@@ -105,19 +112,26 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 	if err := run(ctx, ln, service.Options{
-		Workers:           *workers,
-		QueueSize:         *queue,
-		CacheSize:         *cacheSize,
-		RequestTimeout:    *timeout,
-		SolverParallelism: *solverParallel,
-		MaxSearchRestarts: *searchRestarts,
-		MaxSearchBudget:   *searchBudget,
-		MaxJobs:           *maxJobs,
-		MaxJobsPerClient:  *jobsPerClient,
-		JobTTL:            *jobsTTL,
-		TraceCapacity:     *traces,
-		EnablePprof:       *pprofOn,
-		Logger:            reqLogger,
+		Workers:            *workers,
+		QueueSize:          *queue,
+		CacheSize:          *cacheSize,
+		RequestTimeout:     *timeout,
+		SolverParallelism:  *solverParallel,
+		MaxSearchRestarts:  *searchRestarts,
+		MaxSearchBudget:    *searchBudget,
+		MaxJobs:            *maxJobs,
+		MaxJobsPerClient:   *jobsPerClient,
+		JobTTL:             *jobsTTL,
+		DisableFleet:       !*fleetOn,
+		FleetTick:          *fleetTick,
+		MaxDeployments:     *fleetMax,
+		FleetClient:        *fleetClient,
+		FleetCooldown:      *fleetCooldown,
+		FleetBreakerWindow: *fleetBreaker,
+		FleetMaxRemaps:     *fleetRemaps,
+		TraceCapacity:      *traces,
+		EnablePprof:        *pprofOn,
+		Logger:             reqLogger,
 	}, clusterCfg, *grace, *jobsDump, log.Default()); err != nil {
 		log.Fatalf("serve: %v", err)
 	}

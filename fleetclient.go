@@ -1,0 +1,218 @@
+package relpipe
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// FleetClient is a minimal Go client for the service's fleet API
+// (POST/GET/DELETE /v1/fleet/deployments, see API.md). The zero value
+// is not usable; set BaseURL (e.g. "http://localhost:8080"). It exists
+// so programs — cmd/fleet among them — register deployments, feed
+// telemetry and watch the controller's decision stream with the same
+// DTOs the server uses.
+type FleetClient struct {
+	// BaseURL is the service root, without the /v1 prefix.
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when non-nil. Watch holds
+	// its connection open indefinitely, so a client with a short
+	// Timeout will sever long watches.
+	HTTPClient *http.Client
+}
+
+func (c *FleetClient) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *FleetClient) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// deployURL builds a /v1/fleet/deployments/{id}[/suffix] URL with the
+// id path-escaped (ids are caller-chosen strings).
+func (c *FleetClient) deployURL(id, suffix string) string {
+	return c.url("/v1/fleet/deployments/" + url.PathEscape(id) + suffix)
+}
+
+// fleetError converts a non-2xx answer into an error.
+func fleetError(status int, body []byte) error {
+	var e ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("fleet: %s (HTTP %d)", e.Error, status)
+	}
+	return fmt.Errorf("fleet: HTTP %d", status)
+}
+
+// do runs one request and decodes the JSON answer into out (when
+// non-nil) if the status matches want.
+func (c *FleetClient) do(ctx context.Context, method, u string, in, out any, want int) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		return fleetError(resp.StatusCode, b)
+	}
+	if out != nil {
+		return json.Unmarshal(b, out)
+	}
+	return nil
+}
+
+// Register registers a deployment for continuous adaptation and
+// returns its initial status.
+func (c *FleetClient) Register(ctx context.Context, req FleetRegisterRequest) (FleetDeployment, error) {
+	var st FleetDeployment
+	err := c.do(ctx, http.MethodPost, c.url("/v1/fleet/deployments"), req, &st, http.StatusCreated)
+	return st, err
+}
+
+// Status fetches one deployment snapshot.
+func (c *FleetClient) Status(ctx context.Context, id string) (FleetDeployment, error) {
+	var st FleetDeployment
+	err := c.do(ctx, http.MethodGet, c.deployURL(id, ""), nil, &st, http.StatusOK)
+	return st, err
+}
+
+// List fetches every deployment in registration order.
+func (c *FleetClient) List(ctx context.Context) ([]FleetDeployment, error) {
+	var lr FleetListResponse
+	if err := c.do(ctx, http.MethodGet, c.url("/v1/fleet/deployments"), nil, &lr, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return lr.Deployments, nil
+}
+
+// Feed sends telemetry events; they take effect at the controller's
+// next tick. It returns how many events were accepted.
+func (c *FleetClient) Feed(ctx context.Context, id string, events []FleetEvent) (int, error) {
+	var ack FleetEventsResponse
+	err := c.do(ctx, http.MethodPost, c.deployURL(id, "/events"),
+		FleetEventsRequest{Events: events}, &ack, http.StatusAccepted)
+	return ack.Accepted, err
+}
+
+// Deregister removes a deployment and returns its final snapshot.
+func (c *FleetClient) Deregister(ctx context.Context, id string) (FleetDeployment, error) {
+	var st FleetDeployment
+	err := c.do(ctx, http.MethodDelete, c.deployURL(id, ""), nil, &st, http.StatusOK)
+	return st, err
+}
+
+// Fleet watch termination causes beyond context cancellation.
+var (
+	// ErrFleetShutdown is returned by Watch when the server begins
+	// shutting down (deployment state stays queryable until it exits).
+	ErrFleetShutdown = errors.New("relpipe: server shutting down")
+	// ErrFleetDeregistered is returned by Watch when the watched
+	// deployment is removed.
+	ErrFleetDeregistered = errors.New("relpipe: deployment deregistered")
+)
+
+// Watch streams a deployment's decision log over SSE: status receives
+// the initial snapshot (and the final one on server shutdown), fn
+// every decision with sequence number > after (0 streams the whole
+// retained log). It returns when the deployment is deregistered
+// (ErrFleetDeregistered), the server drains (ErrFleetShutdown) or ctx
+// is cancelled.
+func (c *FleetClient) Watch(ctx context.Context, id string, after uint64,
+	status func(FleetDeployment), fn func(FleetDecision)) error {
+	u := c.deployURL(id, "/events")
+	if after > 0 {
+		u += "?after=" + strconv.FormatUint(after, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fleetError(resp.StatusCode, b)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "":
+			if data == "" {
+				continue
+			}
+			switch event {
+			case "status", "shutdown":
+				var st FleetDeployment
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					return err
+				}
+				if status != nil {
+					status(st)
+				}
+				if event == "shutdown" {
+					return ErrFleetShutdown
+				}
+			case "decision":
+				var d FleetDecision
+				if err := json.Unmarshal([]byte(data), &d); err != nil {
+					return err
+				}
+				if fn != nil {
+					fn(d)
+				}
+			case "deregistered":
+				return ErrFleetDeregistered
+			}
+			event, data = "", ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return io.ErrUnexpectedEOF
+}

@@ -1,0 +1,125 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source a component reads instead of the time
+// package directly. Production code uses Real(); tests inject a *Fake.
+type Clock interface {
+	// Now reports the current time.
+	Now() time.Time
+	// NewTicker returns a ticker firing every d. d must be positive.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker mirrors time.Ticker behind an interface so fakes can fire it
+// deterministically.
+type Ticker interface {
+	// C returns the delivery channel. Like time.Ticker's, it has a
+	// one-element buffer and drops ticks a slow receiver misses.
+	C() <-chan time.Time
+	// Stop turns the ticker off. It does not close C.
+	Stop()
+}
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) NewTicker(d time.Duration) Ticker {
+	return &realTicker{t: time.NewTicker(d)}
+}
+
+type realTicker struct{ t *time.Ticker }
+
+func (r *realTicker) C() <-chan time.Time { return r.t.C }
+func (r *realTicker) Stop()               { r.t.Stop() }
+
+// Fake is a manually-advanced Clock. Now returns the instant it was
+// last advanced to; Advance moves time forward and fires every due
+// ticker before returning, so a test that advances past a deadline can
+// immediately assert on the consequences (modulo the receiving
+// goroutine actually draining its channel — poll for externally visible
+// effects when the receiver is asynchronous).
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*fakeTicker
+}
+
+// NewFake returns a Fake frozen at start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now reports the fake instant.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Advance moves the clock forward by d, delivering due ticks to every
+// ticker in creation order. Ticks coalesce exactly like time.Ticker's:
+// a receiver that has not drained its channel sees at most one pending
+// tick regardless of how far time jumped.
+func (f *Fake) Advance(d time.Duration) {
+	if d < 0 {
+		panic("clock: negative Advance")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	for _, t := range f.tickers {
+		t.fire(f.now)
+	}
+}
+
+// NewTicker returns a ticker driven by Advance.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTicker{period: d, next: f.now.Add(d), ch: make(chan time.Time, 1)}
+	f.tickers = append(f.tickers, t)
+	return t
+}
+
+type fakeTicker struct {
+	mu      sync.Mutex
+	period  time.Duration
+	next    time.Time
+	ch      chan time.Time
+	stopped bool
+}
+
+// fire delivers every tick due at or before now, coalescing into the
+// one-element buffer. Called with the Fake's mutex held (tickers never
+// call back into the Fake, so the lock order is safe).
+func (t *fakeTicker) fire(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	for !t.next.After(now) {
+		select {
+		case t.ch <- t.next:
+		default: // receiver hasn't drained the last tick: coalesce
+		}
+		t.next = t.next.Add(t.period)
+	}
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTicker) Stop() {
+	t.mu.Lock()
+	t.stopped = true
+	t.mu.Unlock()
+}

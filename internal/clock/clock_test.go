@@ -1,0 +1,113 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := Real()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real().Now() = %v outside [%v, %v]", got, before, after)
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(time.Second):
+		t.Fatal("real ticker never fired")
+	}
+}
+
+func TestFakeAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	f.Advance(3 * time.Second)
+	if got, want := f.Now(), start.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", got, want)
+	}
+}
+
+func TestFakeTickerFires(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(10 * time.Second)
+	f.Advance(9 * time.Second)
+	select {
+	case tm := <-tk.C():
+		t.Fatalf("ticker fired early at %v", tm)
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case tm := <-tk.C():
+		if want := time.Unix(10, 0); !tm.Equal(want) {
+			t.Fatalf("tick time = %v, want %v", tm, want)
+		}
+	default:
+		t.Fatal("ticker did not fire at its deadline")
+	}
+}
+
+func TestFakeTickerCoalesces(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	f.Advance(10 * time.Second) // 10 ticks due, buffer holds one
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("pending ticks = %d, want 1 (coalesced)", n)
+	}
+	// The schedule stays aligned: the next tick lands at 11s, not 20s.
+	f.Advance(time.Second)
+	select {
+	case tm := <-tk.C():
+		if want := time.Unix(11, 0); !tm.Equal(want) {
+			t.Fatalf("tick time = %v, want %v", tm, want)
+		}
+	default:
+		t.Fatal("ticker lost its schedule after coalescing")
+	}
+}
+
+func TestFakeTickerStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	tk.Stop()
+	f.Advance(5 * time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestFakeMultipleTickers(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	a := f.NewTicker(2 * time.Second)
+	b := f.NewTicker(3 * time.Second)
+	f.Advance(3 * time.Second)
+	select {
+	case <-a.C():
+	default:
+		t.Fatal("ticker a did not fire")
+	}
+	select {
+	case <-b.C():
+	default:
+		t.Fatal("ticker b did not fire")
+	}
+}

@@ -1,0 +1,8 @@
+// Package clock abstracts wall time behind an injectable interface so
+// time-driven loops — the jobs TTL janitor, the fleet controller tick
+// loop — run on the real clock in production and on a manually-advanced
+// Fake in tests. A Fake delivers ticker fires synchronously from
+// Advance, which is what makes scripted controller scenarios
+// deterministic run-to-run: no sleeps, no scheduler races on "did the
+// ticker fire yet".
+package clock

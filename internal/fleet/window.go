@@ -1,0 +1,56 @@
+package fleet
+
+import "math"
+
+// window is a bounded ring of float64 observations with O(1) rolling
+// mean and standard deviation — the per-deployment failure-count
+// baseline (SNIPPETS-style rolling deque). Incremental sum/sum-of-
+// squares maintenance is numerically fine here: values are small
+// failure counts, and determinism only needs the same operations in
+// the same order, which a ring guarantees.
+type window struct {
+	buf        []float64
+	head, n    int
+	sum, sumSq float64
+}
+
+func newWindow(capacity int) *window {
+	return &window{buf: make([]float64, capacity)}
+}
+
+// push appends v, evicting the oldest observation when full.
+func (w *window) push(v float64) {
+	if w.n == len(w.buf) {
+		old := w.buf[w.head]
+		w.sum -= old
+		w.sumSq -= old * old
+	} else {
+		w.n++
+	}
+	w.buf[w.head] = v
+	w.head = (w.head + 1) % len(w.buf)
+	w.sum += v
+	w.sumSq += v * v
+}
+
+func (w *window) count() int { return w.n }
+
+func (w *window) mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+// stddev is the population standard deviation over the window.
+func (w *window) stddev() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	m := w.mean()
+	v := w.sumSq/float64(w.n) - m*m
+	if v < 0 { // incremental rounding can dip epsilon-negative
+		v = 0
+	}
+	return math.Sqrt(v)
+}

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"relpipe/internal/clock"
 )
 
 // Errors returned by Submit; the service maps the cap errors to 429
@@ -41,8 +43,10 @@ type Options struct {
 	// GCInterval is the janitor period (default min(TTL, 1m)).
 	GCInterval time.Duration
 
-	// now overrides the clock in tests.
-	now func() time.Time
+	// Clock is the engine's time source (default clock.Real()). Tests
+	// inject a *clock.Fake so TTL collection — including the janitor's
+	// own ticker — runs deterministically without sleeps.
+	Clock clock.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -58,8 +62,8 @@ func (o Options) withDefaults() Options {
 	if o.GCInterval <= 0 {
 		o.GCInterval = min(o.TTL, time.Minute)
 	}
-	if o.now == nil {
-		o.now = time.Now
+	if o.Clock == nil {
+		o.Clock = clock.Real()
 	}
 	return o
 }
@@ -92,21 +96,23 @@ func NewEngine(opts Options) *Engine {
 		janitorC: make(chan struct{}),
 	}
 	e.wg.Add(1)
-	go e.janitor()
+	// The ticker is created here, not inside the goroutine, so a fake
+	// clock advanced right after NewEngine returns is guaranteed to
+	// reach it.
+	go e.janitor(e.opts.Clock.NewTicker(e.opts.GCInterval))
 	return e
 }
 
 // janitor periodically evicts terminal jobs older than TTL.
-func (e *Engine) janitor() {
+func (e *Engine) janitor(t clock.Ticker) {
 	defer e.wg.Done()
-	t := time.NewTicker(e.opts.GCInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-e.janitorC:
 			return
-		case <-t.C:
-			e.collect(e.opts.now())
+		case <-t.C():
+			e.collect(e.opts.Clock.Now())
 		}
 	}
 }
@@ -180,7 +186,7 @@ func (e *Engine) SetNode(node string) {
 func (e *Engine) newJobLocked(kind, client, traceID string, cancel context.CancelFunc) *Job {
 	j := &Job{
 		id: newID(), kind: kind, client: client, traceID: traceID, node: e.node,
-		created: e.opts.now(), now: e.opts.now,
+		created: e.opts.Clock.Now(), now: e.opts.Clock.Now,
 		cancel: cancel,
 		state:  StateQueued,
 		subs:   make(map[chan struct{}]struct{}),

@@ -3,35 +3,18 @@ package jobs
 import (
 	"context"
 	"errors"
-	"sync"
 	"testing"
 	"time"
+
+	"relpipe/internal/clock"
 )
 
-// fakeClock is a settable test clock.
-type fakeClock struct {
-	mu sync.Mutex
-	t  time.Time
-}
-
-func (c *fakeClock) now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.t
-}
-
-func (c *fakeClock) advance(d time.Duration) {
-	c.mu.Lock()
-	c.t = c.t.Add(d)
-	c.mu.Unlock()
-}
-
-func newTestEngine(t *testing.T, opts Options) (*Engine, *fakeClock) {
+func newTestEngine(t *testing.T, opts Options) (*Engine, *clock.Fake) {
 	t.Helper()
-	clk := &fakeClock{t: time.Unix(1000, 0)}
-	opts.now = clk.now
+	clk := clock.NewFake(time.Unix(1000, 0))
+	opts.Clock = clk
 	if opts.GCInterval == 0 {
-		opts.GCInterval = time.Hour // tests drive collect() directly
+		opts.GCInterval = time.Hour // most tests drive collect() directly
 	}
 	e := NewEngine(opts)
 	t.Cleanup(e.Close)
@@ -132,13 +115,13 @@ func TestStoreCapEvictsTerminalOldestFirst(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitTerminal(t, j1)
-	clk.advance(time.Second)
+	clk.Advance(time.Second)
 	j2, err := e.Submit(context.Background(), "k", "c", instant(200))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitTerminal(t, j2)
-	clk.advance(time.Second)
+	clk.Advance(time.Second)
 	// Store full (2 terminal jobs): the next submit evicts j1 (oldest
 	// finished), keeps j2.
 	j3, err := e.Submit(context.Background(), "k", "c", instant(200))
@@ -175,15 +158,40 @@ func TestTTLCollect(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitTerminal(t, j)
-	clk.advance(30 * time.Second)
-	e.collect(clk.now())
+	clk.Advance(30 * time.Second)
+	e.collect(clk.Now())
 	if _, ok := e.Get(j.ID()); !ok {
 		t.Fatal("job collected before TTL")
 	}
-	clk.advance(31 * time.Second)
-	e.collect(clk.now())
+	clk.Advance(31 * time.Second)
+	e.collect(clk.Now())
 	if _, ok := e.Get(j.ID()); ok {
 		t.Fatal("job survived past TTL")
+	}
+}
+
+// TestJanitorFakeClock drives the janitor goroutine itself through the
+// fake clock's ticker: advancing past GCInterval+TTL makes the janitor
+// collect the terminal job with no wall-clock sleeps involved. Only the
+// cross-goroutine handoff needs a poll (the tick is delivered
+// synchronously by Advance; the janitor drains it on its own schedule).
+func TestJanitorFakeClock(t *testing.T) {
+	e, clk := newTestEngine(t, Options{TTL: time.Minute, GCInterval: 30 * time.Second})
+	j, err := e.Submit(context.Background(), "k", "c", instant(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	clk.Advance(2 * time.Minute) // one coalesced tick, well past TTL
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := e.Get(j.ID()); !ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never collected the expired job")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -305,7 +313,7 @@ func TestSnapshotNewestFirstAndClientFilter(t *testing.T) {
 	e, clk := newTestEngine(t, Options{})
 	a, _ := e.Submit(context.Background(), "k", "alice", instant(200))
 	waitTerminal(t, a)
-	clk.advance(time.Second)
+	clk.Advance(time.Second)
 	b, _ := e.Submit(context.Background(), "k", "bob", instant(200))
 	waitTerminal(t, b)
 	all := e.Snapshot("")

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"relpipe/internal/fleet"
 	"relpipe/internal/jobs"
 	"relpipe/internal/obs"
 )
@@ -16,6 +17,13 @@ import (
 // snapshot.
 var latencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// fleetDriftBuckets span the reliability-gap scale: near-1
+// reliabilities make drifts tiny, so the buckets are log-spaced from
+// 1e-12 to 1 (an implicit +Inf bucket catches a full outage's gap).
+var fleetDriftBuckets = []float64{
+	1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1,
 }
 
 // Metrics aggregates the service counters. It is a thin facade over an
@@ -39,6 +47,10 @@ type Metrics struct {
 	solveLatency obs.Histogram     // relpipe_solve_duration_seconds
 	stageLatency *obs.HistogramVec // relpipe_solver_stage_duration_seconds{stage}
 	stageUnits   *obs.CounterVec   // relpipe_solver_stage_units_total{stage}
+
+	fleetDecisions *obs.CounterVec // relpipe_fleet_decisions_total{kind}
+	fleetDrift     obs.Histogram   // relpipe_fleet_drift
+	fleetTick      obs.Histogram   // relpipe_fleet_tick_duration_seconds
 
 	clusterForwards       *obs.CounterVec   // relpipe_cluster_forwards_total{peer}
 	clusterForwardErrors  *obs.CounterVec   // relpipe_cluster_forward_errors_total{peer}
@@ -76,6 +88,15 @@ func NewMetrics() *Metrics {
 			"Solver stage latency (dp.table, search.anneal, sim.batch, ...).", latencyBuckets, "stage"),
 		stageUnits: reg.NewCounterVec("relpipe_solver_stage_units_total",
 			"Work units completed per solver stage (restarts, replications, table cells).", "stage"),
+		// The fleet decision counter is labelled by decision kind — a
+		// small fixed vocabulary (internal/fleet's DecisionKind consts),
+		// never request content.
+		fleetDecisions: reg.NewCounterVec("relpipe_fleet_decisions_total",
+			"Fleet controller decisions by kind (proc-dead, drift, remap-submitted, remap-suppressed, ...).", "kind"),
+		fleetDrift: reg.NewHistogram("relpipe_fleet_drift",
+			"Reliability gap (floor - reliability) observed on fleet drift/down decisions.", fleetDriftBuckets),
+		fleetTick: reg.NewHistogram("relpipe_fleet_tick_duration_seconds",
+			"Fleet control-loop tick latency.", latencyBuckets),
 		// The cluster families are label-parameterized by peer base URL —
 		// bounded by the static peer list, never by request content. They
 		// stay empty (HELP/TYPE only) on single-node servers.
@@ -208,6 +229,40 @@ func (m *Metrics) RegisterJobStats(e *jobs.Engine) {
 	m.reg.NewCounterFunc("relpipe_jobs_evicted_total",
 		"Async jobs evicted from the store (capacity or TTL).", nil, nil,
 		func() float64 { return float64(e.Stats().Evicted) })
+}
+
+// FleetDecision records one fleet controller decision: the per-kind
+// counter, plus the drift histogram on drift/down decisions. Called
+// from the controller's OnDecision hook (its lock held — counter
+// increments only).
+func (m *Metrics) FleetDecision(d fleet.Decision) {
+	m.fleetDecisions.With(string(d.Kind)).Inc()
+	if d.Kind == fleet.DecisionDrift || d.Kind == fleet.DecisionDown {
+		m.fleetDrift.Observe(d.Drift)
+	}
+}
+
+// FleetTick records one control-loop tick latency.
+func (m *Metrics) FleetTick(seconds float64) { m.fleetTick.Observe(seconds) }
+
+// RegisterFleetStats exports the fleet controller's deployment gauge
+// and remap lifecycle counters.
+func (m *Metrics) RegisterFleetStats(c *fleet.Controller) {
+	m.reg.NewGaugeFunc("relpipe_fleet_deployments",
+		"Deployments registered with the fleet controller.", nil, nil,
+		func() float64 { return float64(c.Stats().Deployments) })
+	m.reg.NewCounterFunc("relpipe_fleet_remaps_total",
+		"Autonomous remap jobs submitted by the fleet controller.", nil, nil,
+		func() float64 { return float64(c.Stats().Remaps) })
+	m.reg.NewCounterFunc("relpipe_fleet_remaps_adopted_total",
+		"Autonomous remaps whose result was adopted.", nil, nil,
+		func() float64 { return float64(c.Stats().Adopted) })
+	m.reg.NewCounterFunc("relpipe_fleet_remaps_suppressed_total",
+		"Remap trigger episodes suppressed by cooldown or circuit breaker.", nil, nil,
+		func() float64 { return float64(c.Stats().Suppressed) })
+	m.reg.NewCounterFunc("relpipe_fleet_remaps_failed_total",
+		"Autonomous remaps that failed (admission, solver error or unusable result).", nil, nil,
+		func() float64 { return float64(c.Stats().Failed) })
 }
 
 // RegisterTraceStats exports the trace recorder's occupancy.

@@ -222,16 +222,20 @@ func TestPprofEnabled(t *testing.T) {
 
 func TestEndpointLabelBoundsCardinality(t *testing.T) {
 	cases := map[string]string{
-		"/v1/optimize":        "/v1/optimize",
-		"/v1/jobs":            "/v1/jobs",
-		"/v1/jobs/abc123":     "/v1/jobs",
-		"/v1/jobs/abc/events": "/v1/jobs",
-		"/metrics":            "/metrics",
-		"/metrics.json":       "/metrics.json",
-		"/debug/traces":       "/debug/traces",
-		"/debug/pprof/heap":   "/debug/pprof",
-		"/no/such/path":       "other",
-		"/v1/unknown":         "other",
+		"/v1/optimize":                   "/v1/optimize",
+		"/v1/jobs":                       "/v1/jobs",
+		"/v1/jobs/abc123":                "/v1/jobs",
+		"/v1/jobs/abc/events":            "/v1/jobs",
+		"/v1/fleet/deployments":          "/v1/fleet",
+		"/v1/fleet/deployments/x/events": "/v1/fleet",
+		"/healthz":                       "/healthz",
+		"/readyz":                        "/readyz",
+		"/metrics":                       "/metrics",
+		"/metrics.json":                  "/metrics.json",
+		"/debug/traces":                  "/debug/traces",
+		"/debug/pprof/heap":              "/debug/pprof",
+		"/no/such/path":                  "other",
+		"/v1/unknown":                    "other",
 	}
 	for path, want := range cases {
 		if got := endpointLabel(path); got != want {

@@ -20,6 +20,7 @@ import (
 	"relpipe"
 	"relpipe/internal/cluster"
 	"relpipe/internal/cost"
+	"relpipe/internal/fleet"
 	"relpipe/internal/jobs"
 	"relpipe/internal/obs"
 	"relpipe/internal/progress"
@@ -62,6 +63,27 @@ type Options struct {
 	MaxJobs          int
 	MaxJobsPerClient int
 	JobTTL           time.Duration
+	// DisableFleet turns off the fleet controller and its /v1/fleet
+	// routes (default on: the controller is idle until a deployment
+	// registers, so it costs nothing unused).
+	DisableFleet bool
+	// FleetTick is the fleet control-loop period (default 1s) and
+	// MaxDeployments its registration cap (default 1024).
+	FleetTick      time.Duration
+	MaxDeployments int
+	// FleetClient is the jobs-engine client id autonomous remaps are
+	// submitted under (default "fleet"). The fleet shares the job store
+	// and worker pool with interactive users but is capped as one
+	// client of its own: a remap storm 429s against MaxJobsPerClient —
+	// opening the deployment's breaker — instead of evicting or
+	// starving user jobs.
+	FleetClient string
+	// FleetCooldown, FleetBreakerWindow and FleetMaxRemaps set the
+	// default guard rails of registered deployments (defaults 1m, 10m,
+	// 3); a deployment's own policy overrides them field by field.
+	FleetCooldown      time.Duration
+	FleetBreakerWindow time.Duration
+	FleetMaxRemaps     int
 	// TraceCapacity bounds the in-memory trace recorder queryable at
 	// /debug/traces (default 256 most-recent traces; negative disables
 	// recording — spans become no-ops, X-Trace-Id still issued).
@@ -112,6 +134,9 @@ func (o Options) withDefaults() Options {
 	if o.TraceCapacity == 0 {
 		o.TraceCapacity = 256
 	}
+	if o.FleetClient == "" {
+		o.FleetClient = "fleet"
+	}
 	return o
 }
 
@@ -127,6 +152,7 @@ type Server struct {
 	recorder *obs.Recorder
 	logger   *slog.Logger
 	jobs     *jobs.Engine
+	fleet    *fleet.Controller // nil when Options.DisableFleet
 	mux      *http.ServeMux
 	workers  int
 	exec     execOpts
@@ -180,6 +206,26 @@ func NewServer(opts Options) *Server {
 	s.exec.maxSearchRestarts = opts.MaxSearchRestarts
 	s.exec.maxSearchBudget = opts.MaxSearchBudget
 	s.pool = NewPool(s.workers, opts.QueueSize, m)
+	if !opts.DisableFleet {
+		s.fleet = fleet.New(fleet.Options{
+			TickInterval:   opts.FleetTick,
+			MaxDeployments: opts.MaxDeployments,
+			Submitter:      &fleetSubmitter{s: s},
+			DefaultPolicy: fleet.Policy{
+				Cooldown:      opts.FleetCooldown,
+				BreakerWindow: opts.FleetBreakerWindow,
+				MaxRemaps:     opts.FleetMaxRemaps,
+			},
+			OnDecision: func(id string, d fleet.Decision) {
+				m.FleetDecision(d)
+			},
+			OnTick: func(elapsed time.Duration, deployments, decisions int) {
+				m.FleetTick(elapsed.Seconds())
+			},
+		})
+		m.RegisterFleetStats(s.fleet)
+		s.fleet.Start()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.solveHandler("optimize", parseOptimize))
 	mux.HandleFunc("POST /v1/evaluate", s.solveHandler("evaluate", parseEvaluate))
@@ -194,7 +240,16 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	if s.fleet != nil {
+		mux.HandleFunc("POST /v1/fleet/deployments", s.handleFleetRegister)
+		mux.HandleFunc("GET /v1/fleet/deployments", s.handleFleetList)
+		mux.HandleFunc("GET /v1/fleet/deployments/{id}", s.handleFleetStatus)
+		mux.HandleFunc("DELETE /v1/fleet/deployments/{id}", s.handleFleetDeregister)
+		mux.HandleFunc("POST /v1/fleet/deployments/{id}/events", s.handleFleetIngest)
+		mux.HandleFunc("GET /v1/fleet/deployments/{id}/events", s.handleFleetEvents)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", m.Registry().Handler())
 	mux.Handle("GET /metrics.json", s.metrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -234,8 +289,18 @@ func (s *Server) BeginShutdown() {
 // (which the jobs run on) drains and closes. New requests get 503.
 func (s *Server) Close() {
 	s.BeginShutdown()
+	s.stopFleet()
 	s.jobs.Close()
 	s.pool.Close()
+}
+
+// stopFleet halts the fleet control loop before the job engine drains:
+// a ticking controller could otherwise submit a remap into a closing
+// engine. Stopped controller state stays queryable.
+func (s *Server) stopFleet() {
+	if s.fleet != nil {
+		s.fleet.Stop()
+	}
 }
 
 // CloseWithin is Close with a drain budget for the async jobs: jobs
@@ -245,6 +310,7 @@ func (s *Server) Close() {
 // d <= 0 behaves like Close.
 func (s *Server) CloseWithin(d time.Duration) {
 	s.BeginShutdown()
+	s.stopFleet()
 	s.jobs.CloseWithin(d)
 	s.pool.Close()
 }
@@ -252,6 +318,10 @@ func (s *Server) CloseWithin(d time.Duration) {
 // Jobs exposes the async job engine (for the shutdown status dump and
 // tests).
 func (s *Server) Jobs() *jobs.Engine { return s.jobs }
+
+// Fleet exposes the fleet controller (nil when disabled) — tests and
+// embedders drive ticks and inspect deployments through it.
+func (s *Server) Fleet() *fleet.Controller { return s.fleet }
 
 // execOpts is the execution budget handed to every solve closure: the
 // solver-level parallelism one request may use inside its worker slot
@@ -368,9 +438,26 @@ type outcome struct {
 	node   string
 }
 
+// handleHealthz is pure liveness: the process is up and serving. It
+// stays 200 through a graceful drain — readiness is /readyz's job —
+// so an orchestrator never kills a pod for draining politely.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleReadyz is readiness: 200 while the server accepts new work,
+// 503 {"status":"draining"} once BeginShutdown has started the drain —
+// load balancers stop routing while in-flight jobs finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	select {
+	case <-s.shutdownC:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+	default:
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	}
 }
 
 // solveHandler wraps a parser with the shared parse → backend path. A

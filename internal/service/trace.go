@@ -67,13 +67,16 @@ func endpointLabel(path string) string {
 	if strings.HasPrefix(path, "/v1/jobs") {
 		return "/v1/jobs"
 	}
+	if strings.HasPrefix(path, "/v1/fleet") {
+		return "/v1/fleet"
+	}
 	if strings.HasPrefix(path, "/debug/pprof") {
 		return "/debug/pprof"
 	}
 	switch path {
 	case "/v1/optimize", "/v1/evaluate", "/v1/minperiod", "/v1/frontier",
 		"/v1/mincost", "/v1/simulate", "/v1/adapt", "/v1/batch",
-		"/healthz", "/metrics", "/metrics.json", "/debug/traces":
+		"/healthz", "/readyz", "/metrics", "/metrics.json", "/debug/traces":
 		return path
 	}
 	return "other"

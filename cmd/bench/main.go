@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	bench [-quick] [-o BENCH_pr.json] [-minspeedup 0] [-mindeltaspeedup 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	bench [-quick] [-o BENCH_pr.json] [-minspeedup 0] [-mindeltaspeedup 0] [-minsoaspeedup 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	bench -check -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.20] [-allocthreshold 0.20] [-summary $GITHUB_STEP_SUMMARY]
 //
 // Every entry also records allocs/op and B/op (ReadMemStats deltas, the
@@ -32,6 +32,12 @@
 // through mapping.Evaluator and through EvaluateUnchecked, both
 // single-threaded in the same run — so the floor is machine-class
 // independent and never skipped).
+//
+// -minsoaspeedup X fails the run the same way when the flat-array
+// Monte-Carlo engine runs less than X times faster than the scalar
+// reference oracle (the monte-carlo-soa vs monte-carlo-scalar kernels:
+// the same replication batch with ScalarReference toggled, both
+// single-threaded in the same run).
 //
 // Every instance generator is seeded from a fixed rng seed, so two runs
 // on the same machine measure identical work. To compare across machines
@@ -173,6 +179,29 @@ func monteCarloBench(parallelism int) func(sz sizes) func() {
 		cfg := mcConfig(sz)
 		return func() {
 			b, err := sim.RunBatch(context.Background(), cfg, sz.mcReps, parallelism)
+			if err != nil {
+				panic(err)
+			}
+			sink += float64(b.Successes())
+		}
+	}
+}
+
+// monteCarloEngineBench measures the simulation engine itself in
+// isolation: the same replication batch, single-threaded, run either
+// through the flat-array engine (the default) or through the scalar
+// reference oracle (Config.ScalarReference). The two kernels execute
+// bit-identical replications, so their ns/op ratio is the pure engine
+// speedup — the "monte-carlo-soa" entry in Speedups that -minsoaspeedup
+// gates, so the flat-array layout cannot silently rot back to scalar
+// cost. Parallel batch throughput is covered separately by the
+// monte-carlo kernels, where sharding dilutes this ratio.
+func monteCarloEngineBench(scalar bool) func(sz sizes) func() {
+	return func(sz sizes) func() {
+		cfg := mcConfig(sz)
+		cfg.ScalarReference = scalar
+		return func() {
+			b, err := sim.RunBatch(context.Background(), cfg, sz.mcReps, 1)
 			if err != nil {
 				panic(err)
 			}
@@ -383,6 +412,8 @@ var benchmarks = []benchmark{
 	{"exact-profiles/P=8", []string{tagHotPath}, exactBench(8)},
 	{"monte-carlo/P=1", []string{tagHotPath}, monteCarloBench(1)},
 	{"monte-carlo/P=8", []string{tagHotPath}, monteCarloBench(8)},
+	{"monte-carlo-soa", []string{tagHotPath}, monteCarloEngineBench(false)},
+	{"monte-carlo-scalar", []string{tagHotPath}, monteCarloEngineBench(true)},
 	{"frontier/P=1", []string{tagHotPath}, frontierBench(1)},
 	{"frontier/P=8", []string{tagHotPath}, frontierBench(8)},
 	{"search-optimize/P=1", []string{tagHotPath}, searchBench(1)},
@@ -499,6 +530,17 @@ func runBenchmarks(quick bool) File {
 			f.Speedups["search-optimize-delta"] = fl / d
 			fmt.Printf("speedup %-16s %.2fx (incremental vs full evaluation)\n",
 				"search-optimize-delta", fl/d)
+		}
+	}
+	// The flat-array Monte-Carlo engine's advantage over the scalar
+	// reference oracle: same batch, single-threaded, same run, so this
+	// ratio too is machine-class independent and -minsoaspeedup can
+	// gate it hard.
+	if soa, okS := byName["monte-carlo-soa"]; okS && soa > 0 {
+		if sc, okC := byName["monte-carlo-scalar"]; okC {
+			f.Speedups["monte-carlo-soa"] = sc / soa
+			fmt.Printf("speedup %-16s %.2fx (flat-array vs scalar engine)\n",
+				"monte-carlo-soa", sc/soa)
 		}
 	}
 	return f
@@ -769,6 +811,28 @@ func checkDeltaSpeedup(f File, floor float64, out *os.File) int {
 	return 0
 }
 
+// checkSoASpeedup enforces the -minsoaspeedup floor on the flat-array
+// Monte-Carlo engine's advantage over the scalar reference oracle
+// (Speedups["monte-carlo-soa"]). Like the delta gate, both kernels are
+// single-threaded and measured in the same run on the same batch, so
+// the floor holds on any machine class — no core-count skip. Returns 1
+// on a violation or a missing ratio, 0 otherwise.
+func checkSoASpeedup(f File, floor float64, out *os.File) int {
+	if floor <= 0 {
+		return 0
+	}
+	s, ok := f.Speedups["monte-carlo-soa"]
+	if !ok {
+		fmt.Fprintln(out, "minsoaspeedup: monte-carlo-soa ratio missing from this run")
+		return 1
+	}
+	if s < floor {
+		fmt.Fprintf(out, "minsoaspeedup: flat-array-vs-scalar speedup %.2fx below floor %.2fx\n", s, floor)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced workloads (the CI gate's configuration)")
 	out := flag.String("o", "", "write results as JSON to this file")
@@ -776,6 +840,8 @@ func main() {
 		"fail when the exact-enumeration or Monte-Carlo P=8/P=1 speedup is below this on a >=4-core machine (0 disables)")
 	minDeltaSpeedup := flag.Float64("mindeltaspeedup", 0,
 		"fail when the search incremental-vs-full evaluation speedup is below this (0 disables; machine-class independent)")
+	minSoASpeedup := flag.Float64("minsoaspeedup", 0,
+		"fail when the flat-array-vs-scalar Monte-Carlo engine speedup is below this (0 disables; machine-class independent)")
 	summaryPath := flag.String("summary", "",
 		"with -check: append a markdown comparison table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	doCheck := flag.Bool("check", false, "compare -current against -baseline instead of running")
@@ -847,7 +913,9 @@ func main() {
 		mf.Close()
 		fmt.Printf("wrote %s\n", *memProfile)
 	}
-	failures := checkSpeedups(f, *minSpeedup, os.Stdout) + checkDeltaSpeedup(f, *minDeltaSpeedup, os.Stdout)
+	failures := checkSpeedups(f, *minSpeedup, os.Stdout) +
+		checkDeltaSpeedup(f, *minDeltaSpeedup, os.Stdout) +
+		checkSoASpeedup(f, *minSoASpeedup, os.Stdout)
 	if *out != "" {
 		b, err := json.MarshalIndent(f, "", "  ")
 		if err != nil {

@@ -242,6 +242,27 @@ func TestCheckDeltaSpeedup(t *testing.T) {
 	}
 }
 
+// TestCheckSoASpeedup: the flat-array-vs-scalar Monte-Carlo floor
+// follows the same contract as the delta gate — machine-class
+// independent, and a missing ratio fails rather than silently passing.
+func TestCheckSoASpeedup(t *testing.T) {
+	mk := func(s float64) File {
+		return File{GoMaxProcs: 1, Speedups: map[string]float64{"monte-carlo-soa": s}}
+	}
+	if n := checkSoASpeedup(mk(1.1), 0, os.Stdout); n != 0 {
+		t.Fatalf("disabled: %d failures", n)
+	}
+	if n := checkSoASpeedup(mk(2.4), 2.0, os.Stdout); n != 0 {
+		t.Fatalf("healthy: %d failures", n)
+	}
+	if n := checkSoASpeedup(mk(1.3), 2.0, os.Stdout); n != 1 {
+		t.Fatalf("below floor: %d failures, want 1", n)
+	}
+	if n := checkSoASpeedup(File{GoMaxProcs: 1, Speedups: map[string]float64{}}, 2.0, os.Stdout); n != 1 {
+		t.Fatalf("missing ratio: %d failures, want 1", n)
+	}
+}
+
 // TestWriteSummary renders the markdown table the CI bench job appends
 // to $GITHUB_STEP_SUMMARY and checks the load-bearing pieces: one row
 // per kernel, regression marking, and alloc columns degrading to "–"

@@ -49,6 +49,25 @@ type Exec struct {
 	// Optimize methods finish in one unit of work and report nothing).
 	// Reporting never influences a result (see internal/progress).
 	Progress progress.Func
+	// Tables, when non-nil, supplies pre-built heuristic partition
+	// tables (heur.BuildTables) for the instance about to be solved.
+	// Only the Heuristic search method consults it, and only at the
+	// moment it actually seeds a search — Auto runs that route to the
+	// exact or DP solvers never invoke the provider, so nothing is
+	// built in vain. The provider may return nil to decline (the
+	// search then builds its own tables); when it does return tables
+	// they must match the instance it was called with. This is the
+	// seam the service-side solve batcher uses to share one table
+	// build across concurrent same-platform requests.
+	Tables func(Instance) *heur.Tables
+}
+
+// tables consults the optional Tables provider.
+func (e Exec) tables(in Instance) *heur.Tables {
+	if e.Tables == nil {
+		return nil
+	}
+	return e.Tables(in)
 }
 
 func (e Exec) ctx() context.Context {
@@ -234,6 +253,7 @@ func optimizeResolved(in Instance, b Bounds, m Method, ex Exec) (Solution, error
 		return wrap(model.Solve(ilp.Options{}))
 	case Heuristic:
 		sopts := ex.SearchOptions()
+		sopts.Tables = ex.tables(in)
 		sopts.Period, sopts.Latency = b.Period, b.Latency
 		res, ok, err := search.Optimize(in.Chain, in.Platform, sopts)
 		if err != nil {
@@ -339,6 +359,7 @@ func MinPeriodMethodExec(in Instance, minLogRel float64, m Method, ex Exec) (Sol
 		return Solution{Method: "min-period", Mapping: mp, Eval: ev}, nil
 	case Heuristic:
 		sopts := ex.SearchOptions()
+		sopts.Tables = ex.tables(in)
 		sopts.MinLogRel = searchFloor(minLogRel)
 		res, ok, err := search.MinimizePeriod(in.Chain, in.Platform, sopts)
 		if err != nil {
@@ -386,6 +407,7 @@ func MinimizeCostExec(in Instance, costs []float64, minLogRel float64, b Bounds,
 		return sol, nil
 	case Heuristic:
 		sopts := ex.SearchOptions()
+		sopts.Tables = ex.tables(in)
 		sopts.Period, sopts.Latency = b.Period, b.Latency
 		sopts.MinLogRel = searchFloor(minLogRel)
 		sopts.Costs = costs

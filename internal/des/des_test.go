@@ -196,3 +196,56 @@ func TestNaNSchedulingPanics(t *testing.T) {
 	}()
 	e.At(math.NaN(), func() {})
 }
+
+// TestRunUntilInclusiveBoundary: an event at exactly the horizon runs,
+// and an event it schedules at that same instant runs too — the horizon
+// is closed on the right.
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	e := New()
+	var fired []string
+	e.At(7, func() {
+		fired = append(fired, "at")
+		e.Schedule(0, func() { fired = append(fired, "chained") })
+	})
+	e.At(7.0000001, func() { fired = append(fired, "beyond") })
+	e.RunUntil(7)
+	if len(fired) != 2 || fired[0] != "at" || fired[1] != "chained" {
+		t.Fatalf("fired = %v, want [at chained]", fired)
+	}
+	if e.Now() != 7 || e.Pending() != 1 {
+		t.Fatalf("Now=%v Pending=%d, want 7 and 1", e.Now(), e.Pending())
+	}
+}
+
+// TestRunUntilPastHorizonNoOp: a horizon behind the clock runs nothing
+// and never rewinds the clock.
+func TestRunUntilPastHorizonNoOp(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.RunUntil(10)
+	e.RunUntil(3) // behind the clock: nothing to run at t <= 3, clock stays
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10 (clock must not rewind)", e.Now())
+	}
+	if e.Steps() != 1 {
+		t.Fatalf("Steps = %d, want 1", e.Steps())
+	}
+}
+
+// TestRunUntilRepeatedSameHorizon: calling RunUntil twice with the same
+// horizon is idempotent.
+func TestRunUntilRepeatedSameHorizon(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(5, func() { ran++ })
+	e.RunUntil(5)
+	e.RunUntil(5)
+	if ran != 1 || e.Now() != 5 {
+		t.Fatalf("ran=%d Now=%v, want 1 at t=5", ran, e.Now())
+	}
+}

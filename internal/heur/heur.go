@@ -78,6 +78,57 @@ func finishCandidate(c chain.Chain, pl platform.Platform, parts interval.Partiti
 	return Result{M: mp, Ev: ev, Intervals: m}, true
 }
 
+// Tables bundles the two partition DP tables (Heur-P's Algorithm 4
+// table and Heur-L's communication ordering) pre-built for one
+// instance. The tables depend only on the chain and the platform —
+// never on period/latency bounds or allocation constraints — so one
+// Tables value can serve every request against the same instance
+// concurrently: it is immutable after BuildTables and safe for
+// unsynchronized sharing. This is the unit the service-side solve
+// batcher amortizes across coalesced same-platform requests.
+type Tables struct {
+	pTable *dp.HeurPTable
+	pErr   bool
+	lTable *dp.HeurLTable
+	n      int // chain length the tables were built for
+	maxM   int // largest interval count the Heur-P table supports
+}
+
+// MaxIntervals returns the largest interval count the tables support,
+// min(len(chain), P) at build time.
+func (t *Tables) MaxIntervals() int { return t.maxM }
+
+// BuildTables eagerly builds both partition tables for the instance,
+// for interval counts 1..min(len(c), P). A failed Heur-P build is
+// recorded rather than returned — Gen treats it exactly like the lazy
+// build failing, ruling out Heur-P candidates while Heur-L still runs.
+func BuildTables(c chain.Chain, pl platform.Platform) *Tables {
+	maxM := len(c)
+	if pl.P() < maxM {
+		maxM = pl.P()
+	}
+	t := &Tables{n: len(c), maxM: maxM, lTable: dp.NewHeurLTable(c)}
+	var err error
+	t.pTable, err = dp.NewHeurPTable(c, maxM, meanSpeed(pl), pl.Bandwidth)
+	t.pErr = err != nil
+	return t
+}
+
+// WithTables installs pre-built shared tables into the generator,
+// skipping its lazy per-instance builds. Tables that cannot serve this
+// generator — built for a different chain length or a smaller interval
+// range — are ignored and the lazy path is kept; the caller remains
+// responsible for only sharing tables across requests with the same
+// canonical instance (HeurPTable partitions are bit-identical for any
+// m ≤ the build-time maxM, so a larger range is fine). Returns g.
+func (g *Gen) WithTables(t *Tables) *Gen {
+	if t == nil || t.n != len(g.c) || t.maxM < g.maxM {
+		return g
+	}
+	g.pTable, g.pErr, g.lTable = t.pTable, t.pErr, t.lTable
+	return g
+}
+
 // Gen produces heuristic candidates for many interval counts of one
 // instance. Heur-P's partition DP (Algorithm 4) only depends on the
 // largest count requested, and Heur-L's communication ordering is

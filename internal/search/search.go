@@ -77,6 +77,16 @@ type Options struct {
 	// speedup.
 	ReferenceEval bool
 
+	// Tables optionally injects pre-built heuristic partition tables
+	// (heur.BuildTables) into the seed-pool sweep, skipping the
+	// per-search table construction. The tables must have been built
+	// for this exact instance — the service-side solve batcher shares
+	// them across requests whose cache keys carry the same canonical
+	// instance — and are consulted read-only, so one value may serve
+	// any number of concurrent searches. Candidates are bit-identical
+	// with or without them; nil keeps the self-built path.
+	Tables *heur.Tables
+
 	// Parallelism caps the portfolio's worker goroutines
 	// (0 = GOMAXPROCS, negative = sequential); it never changes the
 	// result. Context cancels the run mid-restart; nil means no
@@ -438,8 +448,10 @@ func (p problem) seedPool() []seedCandidate {
 
 func (p problem) candidates(maxM int, heurPeriod float64) []seedCandidate {
 	// One generator per sweep: the Heur-P partition DP is built once for
-	// maxM and shared across every sampled interval count.
-	gen := heur.NewGen(p.c, p.pl, maxM, heur.Options{Period: heurPeriod, Allowed: p.opts.Allowed})
+	// maxM and shared across every sampled interval count — or not even
+	// once, when the caller supplied batch-shared tables.
+	gen := heur.NewGen(p.c, p.pl, maxM, heur.Options{Period: heurPeriod, Allowed: p.opts.Allowed}).
+		WithTables(p.opts.Tables)
 	var pool []seedCandidate
 	for _, m := range sampledM(maxM) {
 		for _, latencyOriented := range []bool{false, true} {

@@ -86,6 +86,13 @@ func (b localBackend) Execute(ctx context.Context, req Request) outcome {
 	}
 	s.metrics.CacheMiss()
 
+	// Join the instance's solve batch for the whole flight — queue wait
+	// included, so concurrent same-instance requests coalesce even when
+	// one worker serializes their solves (see batcher.go). A nil entry
+	// (batching off) is inert.
+	entry := s.batcher.join(req.Route)
+	defer entry.leave()
+
 	flightStart := time.Now()
 	v, _, shared := s.flights.Do(req.Key, func() (any, error) {
 		// The flight for this key may have landed between our cache miss
@@ -110,7 +117,7 @@ func (b localBackend) Execute(ctx context.Context, req Request) outcome {
 		enqueued := time.Now()
 		val, err := s.pool.Do(waitCtx, func() (any, error) {
 			obs.RecordSpan(execCtx, "queue.wait", enqueued, time.Now(), nil)
-			return s.solveToBytes(req.Key, req.solve, solveCtx{ctx: execCtx})
+			return s.solveToBytes(req.Key, req.solve, solveCtx{ctx: execCtx, tables: entry.provider})
 		})
 		if err != nil {
 			return errorOutcome(statusFor(err), err), nil
@@ -146,13 +153,15 @@ func (b localBackend) ExecuteWait(ctx context.Context, req Request, running func
 		return outcome{status: http.StatusOK, body: cached}
 	}
 	s.metrics.CacheMiss()
+	entry := s.batcher.join(req.Route)
+	defer entry.leave()
 	enqueued := time.Now()
 	val, err := s.pool.DoWait(ctx, func() (any, error) {
 		obs.RecordSpan(ctx, "queue.wait", enqueued, time.Now(), nil)
 		if running != nil {
 			running()
 		}
-		return s.solveToBytes(req.Key, req.solve, solveCtx{ctx: ctx, progress: report})
+		return s.solveToBytes(req.Key, req.solve, solveCtx{ctx: ctx, progress: report, tables: entry.provider})
 	})
 	if err != nil {
 		return errorOutcome(statusForJob(err), err)

@@ -19,6 +19,11 @@ var latencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// batchSizeBuckets span plausible solve-batch populations: most
+// batches are a handful of coalesced requests, but a thundering herd
+// against one instance can reach the queue bound.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // fleetDriftBuckets span the reliability-gap scale: near-1
 // reliabilities make drifts tiny, so the buckets are log-spaced from
 // 1e-12 to 1 (an implicit +Inf bucket catches a full outage's gap).
@@ -47,6 +52,10 @@ type Metrics struct {
 	solveLatency obs.Histogram     // relpipe_solve_duration_seconds
 	stageLatency *obs.HistogramVec // relpipe_solver_stage_duration_seconds{stage}
 	stageUnits   *obs.CounterVec   // relpipe_solver_stage_units_total{stage}
+
+	batchTablesBuilt obs.Counter   // relpipe_solve_batch_tables_built_total
+	batchCoalesced   obs.Counter   // relpipe_solve_batch_coalesced_total
+	batchSize        obs.Histogram // relpipe_solve_batch_size
 
 	fleetDecisions *obs.CounterVec // relpipe_fleet_decisions_total{kind}
 	fleetDrift     obs.Histogram   // relpipe_fleet_drift
@@ -88,6 +97,12 @@ func NewMetrics() *Metrics {
 			"Solver stage latency (dp.table, search.anneal, sim.batch, ...).", latencyBuckets, "stage"),
 		stageUnits: reg.NewCounterVec("relpipe_solver_stage_units_total",
 			"Work units completed per solver stage (restarts, replications, table cells).", "stage"),
+		batchTablesBuilt: reg.NewCounter("relpipe_solve_batch_tables_built_total",
+			"Heuristic partition-table builds shared through the solve batcher."),
+		batchCoalesced: reg.NewCounter("relpipe_solve_batch_coalesced_total",
+			"Requests that joined an existing same-instance solve batch."),
+		batchSize: reg.NewHistogram("relpipe_solve_batch_size",
+			"Members per drained solve batch (1 = nothing coalesced).", batchSizeBuckets),
 		// The fleet decision counter is labelled by decision kind — a
 		// small fixed vocabulary (internal/fleet's DecisionKind consts),
 		// never request content.
@@ -157,6 +172,24 @@ func (m *Metrics) StageObserver() obs.StageObserver {
 		}
 	}
 }
+
+// TableBuilt counts one shared heuristic-table construction performed
+// inside a solve batch.
+func (m *Metrics) TableBuilt() { m.batchTablesBuilt.Inc() }
+
+// BatchCoalesce counts a request that joined an existing same-instance
+// solve batch instead of opening one.
+func (m *Metrics) BatchCoalesce() { m.batchCoalesced.Inc() }
+
+// BatchSize records the member count of one drained solve batch.
+func (m *Metrics) BatchSize(members float64) { m.batchSize.Observe(members) }
+
+// TablesBuilt returns the shared table builds (tests assert the
+// one-build-per-batch contract through it).
+func (m *Metrics) TablesBuilt() int64 { return int64(m.batchTablesBuilt.Value()) }
+
+// BatchCoalesced returns the requests that joined an existing batch.
+func (m *Metrics) BatchCoalesced() int64 { return int64(m.batchCoalesced.Value()) }
 
 // ClusterForward records one forward hop to a peer (however it ended)
 // with its round-trip latency.

@@ -67,6 +67,12 @@ type Options struct {
 	// routes (default on: the controller is idle until a deployment
 	// registers, so it costs nothing unused).
 	DisableFleet bool
+	// DisableSolveBatch turns off the solve batcher (batcher.go), which
+	// coalesces the heuristic-table construction of concurrent requests
+	// against the same instance (default on). Batching never changes a
+	// response — tables are bit-identical to self-built ones — so the
+	// knob exists for operators isolating a problem, not for tuning.
+	DisableSolveBatch bool
 	// FleetTick is the fleet control-loop period (default 1s) and
 	// MaxDeployments its registration cap (default 1024).
 	FleetTick      time.Duration
@@ -147,7 +153,8 @@ type Server struct {
 	pool     *Pool
 	cache    *Cache
 	flights  *flightGroup
-	forwards *flightGroup // collapses concurrent identical cluster forwards
+	forwards *flightGroup  // collapses concurrent identical cluster forwards
+	batcher  *tableBatcher // nil when Options.DisableSolveBatch
 	metrics  *Metrics
 	recorder *obs.Recorder
 	logger   *slog.Logger
@@ -178,6 +185,9 @@ func NewServer(opts Options) *Server {
 		metrics:   m,
 		logger:    opts.Logger,
 		shutdownC: make(chan struct{}),
+	}
+	if !opts.DisableSolveBatch {
+		s.batcher = newTableBatcher(m)
 	}
 	if opts.TraceCapacity > 0 {
 		// A nil recorder is inert (spans no-op), so a negative capacity
@@ -411,6 +421,11 @@ func parseSolveMethod(methodStr string, sp *relpipe.SearchParams, ex execOpts) (
 type solveCtx struct {
 	ctx      context.Context
 	progress progress.Func
+	// tables is the solve batch's shared heuristic-table provider (nil
+	// when batching is off — see batcher.go). Like the other fields it
+	// never influences an answer: provided tables are bit-identical to
+	// the ones a search builds itself.
+	tables func(relpipe.Instance) *relpipe.HeuristicTables
 }
 
 func (sc solveCtx) context() context.Context {
@@ -686,6 +701,7 @@ var batchParsers = map[string]parser{
 func withCtx(opts relpipe.Options, sc solveCtx) relpipe.Options {
 	opts.Context = sc.context()
 	opts.Progress = sc.progress
+	opts.Tables = sc.tables
 	return opts
 }
 

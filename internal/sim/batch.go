@@ -55,21 +55,73 @@ func RunBatch(ctx context.Context, cfg Config, replications, parallelism int) (B
 	}
 	reps := progress.NewCounter(int64(replications), cfg.Progress)
 	batchStart := time.Now()
-	runs, err := par.Map(ctx, parallelism, replications, func(r int) (Result, error) {
-		c := cfg
-		c.Seed = seeds[r]
-		c.Progress = nil // per-replication runs report nothing themselves
-		res, err := Run(c)
-		if err == nil {
-			reps.Add(1)
-		}
-		return res, err
-	})
+	var runs []Result
+	var err error
+	if cfg.ScalarReference {
+		// Reference path: one scalar event loop per replication, exactly
+		// the pre-flat-engine implementation (the differential suite and
+		// the bench's monte-carlo-scalar kernel run through here).
+		runs, err = par.Map(ctx, parallelism, replications, func(r int) (Result, error) {
+			c := cfg
+			c.Seed = seeds[r]
+			c.Progress = nil // per-replication runs report nothing themselves
+			res, runErr := Run(c)
+			if runErr == nil {
+				reps.Add(1)
+			}
+			return res, runErr
+		})
+	} else {
+		runs, err = runBatchSoA(ctx, cfg, seeds, parallelism, reps)
+	}
 	if err != nil {
 		return BatchResult{}, err
 	}
 	obs.Stage(ctx, "sim.batch", batchStart, int64(replications), nil)
 	return BatchResult{Runs: runs, Seeds: seeds}, nil
+}
+
+// runBatchSoA executes the replications on the flat-array engine: the
+// segment tables are built once and shared read-only by every worker,
+// and each worker drives a contiguous shard of replications through one
+// reused engine (allocation-free after its first replication). Results
+// are bit-identical to the scalar path at every parallelism degree.
+func runBatchSoA(ctx context.Context, cfg Config, seeds []uint64, parallelism int, reps *progress.Counter) ([]Result, error) {
+	t, err := newSoaTables(cfg)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]Result, len(seeds))
+	if !cfg.InjectFailures {
+		// No failure sampling means no RNG draws: every replication is
+		// the same deterministic run. Simulate once, hand each
+		// replication its own copy of the outcome.
+		res, err := newSoaEngine(t, ctx).run(seeds[0])
+		if err != nil {
+			return nil, err
+		}
+		for r := range runs {
+			runs[r] = copyResult(res)
+			reps.Add(1)
+		}
+		return runs, nil
+	}
+	err = par.Run(ctx, parallelism, len(seeds), func(ctx context.Context, s par.Shard) error {
+		eng := newSoaEngine(t, ctx)
+		for r := s.Lo; r < s.Hi; r++ {
+			res, err := eng.run(seeds[r])
+			if err != nil {
+				return err
+			}
+			runs[r] = res
+			reps.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
 }
 
 // DataSets returns the total data sets injected across replications.

@@ -54,6 +54,16 @@ type Config struct {
 	// from RunBatch as replications complete (see internal/progress).
 	// Single Run ignores it. Reporting never influences the result.
 	Progress progress.Func
+	// ScalarReference forces the original closure-based per-replication
+	// event loop (the des.Engine path in this file) instead of the
+	// flat-array engine (soa.go). The two are bit-identical by contract
+	// — same RNG draw order, same Result bits for every Config and seed
+	// (the differential suite and FuzzSimSoA enforce per-field equality)
+	// — so the knob never changes an answer; it exists as the reference
+	// oracle for those checks and for the bench kernel measuring the
+	// flat engine's speedup. Runs with a Trace attached always take the
+	// scalar path (the trace hooks live there).
+	ScalarReference bool
 }
 
 // Result aggregates a run.
@@ -125,8 +135,20 @@ type runner struct {
 	compTime [][]float64 // [stage][replica] compute duration
 }
 
-// Run executes the simulation and returns its result.
+// Run executes the simulation and returns its result. The flat-array
+// engine (soa.go) does the work unless a Trace is attached or
+// cfg.ScalarReference asks for the reference event loop; both paths
+// return bit-identical Results.
 func Run(cfg Config) (Result, error) {
+	if cfg.ScalarReference || cfg.Trace != nil {
+		return runScalar(cfg)
+	}
+	return runSoA(cfg)
+}
+
+// runScalar is the original closure-based discrete-event loop, kept as
+// the reference oracle (see Config.ScalarReference).
+func runScalar(cfg Config) (Result, error) {
 	if err := cfg.Chain.Validate(); err != nil {
 		return Result{}, err
 	}

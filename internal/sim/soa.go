@@ -1,0 +1,391 @@
+package sim
+
+// This file is the flat-array (struct-of-arrays) Monte-Carlo core: the
+// default execution engine behind Run and RunBatch. The original
+// closure-based des.Engine loop (sim.go) survives unchanged as the
+// reference oracle behind Config.ScalarReference.
+//
+// Why a second engine: the scalar loop pays one closure allocation and
+// one interface boxing per event, hashes two maps (procFree, linkFree)
+// per scheduling decision, and rebuilds every per-stage table for every
+// replication. The flat engine keeps all of that in contiguous arrays —
+// a fixed-size event record in a hand-rolled binary heap, resource
+// release times in flat float64 slices indexed by precomputed replica
+// offsets, router/done flags in flat bool slices — and shares the
+// per-segment tables (compute/communication durations and failure
+// probabilities) across every replication of a batch, so a worker
+// advances its whole shard of replications through one warm,
+// cache-resident state block.
+//
+// Determinism contract: the engine replays the scalar loop's event
+// schedule exactly. Events are ordered by (time, scheduling sequence),
+// the same strict total order des.Engine uses, and every RNG draw
+// happens inside an event handler — so equal seeds give bit-identical
+// Results whichever engine runs (the differential suite and FuzzSimSoA
+// enforce per-field equality). Replication-level vectorization stops at
+// that contract deliberately: a failed draw prunes downstream events
+// and shifts later resource-release times, making the event schedule
+// outcome-dependent per replication, so true cross-replication lockstep
+// would change draw order. The batching axis is shared tables plus
+// per-worker state reuse instead.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"relpipe/internal/failure"
+	"relpipe/internal/rng"
+)
+
+// Event kinds of the flat engine, mirroring the scalar loop's closures:
+// data-set injection, compute finish (draw + emit), sender-side link
+// arrival (draw + router), router-side link arrival (TwoHop only: draw
+// + next-stage compute).
+const (
+	soaInject uint8 = iota
+	soaCompute
+	soaSend
+	soaFwd
+)
+
+// soaEvent is one pending event: fixed-size, no closures, no interface
+// boxing. seq is the per-replication scheduling sequence — the same
+// stable tie-break des.Engine applies — reset to 0 for every
+// replication.
+type soaEvent struct {
+	t    float64
+	seq  int64
+	d    int32 // data set
+	j    int32 // stage (compute) or boundary (send/fwd)
+	i    int32 // replica index within the stage
+	kind uint8
+}
+
+// soaTables is the read-only per-batch precomputation shared by every
+// replication (and, in RunBatch, by every worker): segment durations
+// and failure probabilities flattened over replica offsets, plus the
+// validated run parameters. Pure function of the Config minus its seed.
+type soaTables struct {
+	nStages  int
+	procs    [][]int   // Mapping.Procs: replica processor ids per stage
+	offset   []int     // offset[j] = first flat replica index of stage j; len nStages+1
+	total    int       // total replicas (== offset[nStages])
+	procN    int       // platform processor count (procFree size)
+	compTime []float64 // flat [offset[j]+i]
+	compFail []float64 // flat [offset[j]+i]
+	commTime []float64 // per boundary j
+	commFail []float64 // per boundary j
+	period   float64
+	dataSets int
+	warmUp   int
+	routing  RoutingMode
+	inject   bool
+}
+
+// newSoaTables validates cfg exactly like the scalar Run and builds the
+// shared tables.
+func newSoaTables(cfg Config) (*soaTables, error) {
+	if err := cfg.Chain.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Mapping.Validate(cfg.Chain, cfg.Platform); err != nil {
+		return nil, err
+	}
+	if cfg.Period <= 0 {
+		return nil, errors.New("sim: Period must be positive")
+	}
+	if cfg.DataSets <= 0 {
+		return nil, errors.New("sim: DataSets must be positive")
+	}
+	if cfg.WarmUp < 0 || cfg.WarmUp >= cfg.DataSets {
+		cfg.WarmUp = 0
+	}
+	m := cfg.Mapping
+	nStages := len(m.Parts)
+	t := &soaTables{
+		nStages:  nStages,
+		procs:    m.Procs,
+		offset:   make([]int, nStages+1),
+		procN:    cfg.Platform.P(),
+		commTime: make([]float64, nStages),
+		commFail: make([]float64, nStages),
+		period:   cfg.Period,
+		dataSets: cfg.DataSets,
+		warmUp:   cfg.WarmUp,
+		routing:  cfg.Routing,
+		inject:   cfg.InjectFailures,
+	}
+	for j := 0; j < nStages; j++ {
+		t.offset[j+1] = t.offset[j] + len(m.Procs[j])
+	}
+	t.total = t.offset[nStages]
+	t.compTime = make([]float64, t.total)
+	t.compFail = make([]float64, t.total)
+	for j := 0; j < nStages; j++ {
+		w := m.Parts.Work(cfg.Chain, j)
+		out := m.Parts.Out(cfg.Chain, j)
+		t.commTime[j] = cfg.Platform.CommTime(out)
+		t.commFail[j] = failure.Prob(cfg.Platform.LinkFailRate, t.commTime[j])
+		for i, u := range m.Procs[j] {
+			t.compTime[t.offset[j]+i] = cfg.Platform.ComputeTime(u, w)
+			t.compFail[t.offset[j]+i] = failure.Prob(cfg.Platform.Procs[u].FailRate, t.compTime[t.offset[j]+i])
+		}
+	}
+	return t, nil
+}
+
+// soaEngine is the reusable per-worker state block: one event heap and
+// one set of flat resource/outcome arrays, reset (not reallocated)
+// between replications so a shard of replications runs allocation-free
+// after the first.
+type soaEngine struct {
+	t   *soaTables
+	ctx context.Context // polled inside the event loop; nil = no polling
+	rnd *rng.Rand
+
+	heap []soaEvent
+	seq  int64
+
+	procFree   []float64 // by processor id: next instant the proc is free
+	sendFree   []float64 // by flat replica index: sender-side channel free
+	fwdFree    []float64 // by flat replica index: router-side channel free (TwoHop)
+	routerDone []bool    // [boundary*dataSets + d]: first arrival already forwarded
+	done       []bool    // per data set
+	completion []float64 // per data set
+}
+
+func newSoaEngine(t *soaTables, ctx context.Context) *soaEngine {
+	return &soaEngine{
+		t:          t,
+		ctx:        ctx,
+		procFree:   make([]float64, t.procN),
+		sendFree:   make([]float64, t.total),
+		fwdFree:    make([]float64, t.total),
+		routerDone: make([]bool, t.nStages*t.dataSets),
+		done:       make([]bool, t.dataSets),
+		completion: make([]float64, t.dataSets),
+	}
+}
+
+// push schedules an event, assigning the next sequence number — the
+// insertion-order tie-break that reproduces des.Engine's stable event
+// order.
+func (e *soaEngine) push(t float64, kind uint8, j, i, d int) {
+	h := append(e.heap, soaEvent{t: t, seq: e.seq, d: int32(d), j: int32(j), i: int32(i), kind: kind})
+	e.seq++
+	c := len(h) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if !soaLess(h[c], h[p]) {
+			break
+		}
+		h[c], h[p] = h[p], h[c]
+		c = p
+	}
+	e.heap = h
+}
+
+// pop removes and returns the earliest event under the (t, seq) order.
+func (e *soaEngine) pop() soaEvent {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	p := 0
+	for {
+		c := 2*p + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && soaLess(h[r], h[c]) {
+			c = r
+		}
+		if !soaLess(h[c], h[p]) {
+			break
+		}
+		h[p], h[c] = h[c], h[p]
+		p = c
+	}
+	e.heap = h
+	return top
+}
+
+func soaLess(a, b soaEvent) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// fails samples one transient failure of probability p — the same
+// short-circuits as the scalar runner's (no draw when injection is off
+// or p is degenerate), so the RNG streams stay aligned.
+func (e *soaEngine) fails(p float64) bool {
+	return e.t.inject && e.rnd.Bernoulli(p)
+}
+
+// startCompute books data set d on replica i of stage j: the processor
+// is reserved at scheduling time (exactly like the scalar loop), the
+// finish event draws the failure.
+func (e *soaEngine) startCompute(now float64, j, i, d int) {
+	u := e.t.procs[j][i]
+	start := math.Max(now, e.procFree[u])
+	finish := start + e.t.compTime[e.t.offset[j]+i]
+	e.procFree[u] = finish
+	e.push(finish, soaCompute, j, i, d)
+}
+
+// routerForward delivers data set d across boundary j on its first
+// successful arrival; later arrivals are ignored.
+func (e *soaEngine) routerForward(now float64, j, d int) {
+	idx := j*e.t.dataSets + d
+	if e.routerDone[idx] {
+		return
+	}
+	e.routerDone[idx] = true
+	next := j + 1
+	if e.t.routing == OneHop {
+		// The boundary was charged on the sender side; delivery is
+		// immediate.
+		for i := range e.t.procs[next] {
+			e.startCompute(now, next, i, d)
+		}
+		return
+	}
+	if e.t.routing != TwoHop {
+		// Lazily, like the scalar loop: a run that never crosses a
+		// boundary never observes a bogus mode.
+		panic(fmt.Sprintf("sim: unknown routing mode %d", e.t.routing))
+	}
+	for i := range e.t.procs[next] {
+		fi := e.t.offset[next] + i
+		start := math.Max(now, e.fwdFree[fi])
+		arrive := start + e.t.commTime[j]
+		e.fwdFree[fi] = arrive
+		e.push(arrive, soaFwd, j, i, d)
+	}
+}
+
+// run executes one replication with the given seed and returns its
+// Result, bit-identical to the scalar Run of the same Config and seed.
+// The context (when non-nil) is polled every 1024 events so a
+// cancellation lands mid-replication, not just between replications.
+func (e *soaEngine) run(seed uint64) (Result, error) {
+	t := e.t
+	e.rnd = rng.New(seed)
+	e.heap = e.heap[:0]
+	e.seq = 0
+	clear(e.procFree)
+	clear(e.sendFree)
+	clear(e.fwdFree)
+	clear(e.routerDone)
+	clear(e.done)
+	clear(e.completion)
+
+	for d := 0; d < t.dataSets; d++ {
+		e.push(float64(d)*t.period, soaInject, 0, 0, d)
+	}
+	last := t.nStages - 1
+	var steps int64
+	for len(e.heap) > 0 {
+		ev := e.pop()
+		if steps++; steps&1023 == 0 && e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		now := ev.t
+		j, i, d := int(ev.j), int(ev.i), int(ev.d)
+		switch ev.kind {
+		case soaInject:
+			for i := range t.procs[0] {
+				e.startCompute(now, 0, i, d)
+			}
+		case soaCompute:
+			if e.fails(t.compFail[t.offset[j]+i]) {
+				continue // the result is lost on this replica
+			}
+			if j == last {
+				if !e.done[d] {
+					e.done[d] = true
+					e.completion[d] = now
+				}
+				continue
+			}
+			si := t.offset[j] + i
+			start := math.Max(now, e.sendFree[si])
+			arrive := start + t.commTime[j]
+			e.sendFree[si] = arrive
+			e.push(arrive, soaSend, j, i, d)
+		case soaSend:
+			if e.fails(t.commFail[j]) {
+				continue // corrupted in transit
+			}
+			e.routerForward(now, j, d)
+		case soaFwd:
+			if e.fails(t.commFail[j]) {
+				continue
+			}
+			e.startCompute(now, j+1, i, d)
+		}
+	}
+	return e.aggregate(), nil
+}
+
+// aggregate folds the outcome arrays into a Result with exactly the
+// scalar loop's fold order (latency append order, steady-period
+// accumulation), so aggregates match bit for bit.
+func (e *soaEngine) aggregate() Result {
+	t := e.t
+	res := Result{DataSets: t.dataSets}
+	var prev float64
+	var interAcc, interN float64
+	seen := 0
+	for d := 0; d < t.dataSets; d++ {
+		if !e.done[d] {
+			continue
+		}
+		res.Successes++
+		res.Latencies = append(res.Latencies, e.completion[d]-float64(d)*t.period)
+		res.Completions = append(res.Completions, e.completion[d])
+		if d >= t.warmUp {
+			if seen > 0 {
+				interAcc += e.completion[d] - prev
+				interN++
+			}
+			prev = e.completion[d]
+			seen++
+		}
+	}
+	if interN > 0 {
+		res.SteadyPeriod = interAcc / interN
+	} else {
+		res.SteadyPeriod = math.NaN()
+	}
+	return res
+}
+
+// runSoA is the single-run entry of the flat engine (Run dispatches
+// here unless a trace or the scalar reference was requested).
+func runSoA(cfg Config) (Result, error) {
+	t, err := newSoaTables(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return newSoaEngine(t, nil).run(cfg.Seed)
+}
+
+// copyResult deep-copies a Result so batch replications sharing a
+// deterministic outcome still own their slices.
+func copyResult(r Result) Result {
+	c := r
+	c.Latencies = append([]float64(nil), r.Latencies...)
+	c.Completions = append([]float64(nil), r.Completions...)
+	return c
+}

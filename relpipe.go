@@ -30,6 +30,7 @@ import (
 	"relpipe/internal/core"
 	"relpipe/internal/cost"
 	"relpipe/internal/frontier"
+	"relpipe/internal/heur"
 	"relpipe/internal/interval"
 	"relpipe/internal/mapping"
 	"relpipe/internal/mttf"
@@ -168,6 +169,16 @@ type Options struct {
 	// must be concurrency-safe and never influences a result. This is
 	// the observability hook the async job service streams over SSE.
 	Progress func(done, total int64)
+	// Tables, when non-nil, supplies pre-built heuristic partition
+	// tables for the instance being solved (BuildHeuristicTables).
+	// Only the Heuristic search method consults the provider, and only
+	// when it actually seeds a search; returning nil declines and the
+	// search builds its own. Tables are immutable and safe to share
+	// across concurrent solves of the same instance — the solve
+	// batcher in internal/service amortizes one build across coalesced
+	// same-platform requests through this hook. Candidates, and hence
+	// solutions, are bit-identical with or without it.
+	Tables func(Instance) *HeuristicTables
 }
 
 func (o Options) exec() core.Exec {
@@ -175,7 +186,19 @@ func (o Options) exec() core.Exec {
 		Ctx: o.Context, Parallelism: o.Parallelism,
 		Restarts: o.Restarts, Budget: o.Budget, Seed: o.Seed, TimeBudget: o.TimeBudget,
 		Progress: progress.Func(o.Progress),
+		Tables:   o.Tables,
 	}
+}
+
+// HeuristicTables holds the pre-built partition tables of the §7
+// heuristics for one instance: immutable after construction and safe
+// for unsynchronized sharing across concurrent solves.
+type HeuristicTables = heur.Tables
+
+// BuildHeuristicTables eagerly builds the heuristic partition tables
+// for an instance, for sharing across solves via Options.Tables.
+func BuildHeuristicTables(in Instance) *HeuristicTables {
+	return heur.BuildTables(in.Chain, in.Platform)
 }
 
 // Optimize computes a reliability-maximal mapping under the bounds.
